@@ -1,0 +1,118 @@
+//! Component microbenches: the hot data structures underneath the
+//! simulator — cache, event queue, hashing, namespace resolution, and
+//! popularity decay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynmds_cache::{InsertKind, MetaCache, Popularity};
+use dynmds_event::{EventQueue, SimDuration, SimRng, SimTime};
+use dynmds_namespace::{InodeId, NamespaceSpec};
+use dynmds_partition::path_hash;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.bench_function("insert_evict_cycle", |b| {
+        let mut cache = MetaCache::new(1_000);
+        let mut i = 0u64;
+        b.iter(|| {
+            cache.insert(InodeId(i), None, InsertKind::Target);
+            i += 1;
+        })
+    });
+    g.bench_function("lookup_hit", |b| {
+        let mut cache = MetaCache::new(1_000);
+        for i in 0..1_000u64 {
+            cache.insert(InodeId(i), None, InsertKind::Target);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let hit = cache.lookup(InodeId(i % 1_000), true);
+            i += 1;
+            hit
+        })
+    });
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop", |b| {
+        let mut q: EventQueue<u64> = EventQueue::with_capacity(1_024);
+        let mut rng = SimRng::seed_from_u64(1);
+        for i in 0..1_024 {
+            q.schedule(SimTime::from_micros(rng.below(1 << 20)), i);
+        }
+        b.iter(|| {
+            let ev = q.pop().expect("non-empty");
+            q.schedule(ev.at + SimDuration::from_micros(rng.below(1_000) + 1), ev.event);
+            ev.at
+        })
+    });
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    c.bench_function("path_hash", |b| {
+        let paths: Vec<String> =
+            (0..64).map(|i| format!("/home/user{i:04}/d001/f{i:03}_001")).collect();
+        let mut i = 0;
+        b.iter(|| {
+            let h = path_hash(&paths[i % 64], 50);
+            i += 1;
+            h
+        })
+    });
+}
+
+fn bench_namespace(c: &mut Criterion) {
+    let snap = NamespaceSpec::with_target_items(50, 20_000, 3).generate();
+    let ns = snap.ns;
+    let ids: Vec<InodeId> = ns.live_ids().collect();
+    let paths: Vec<String> = ids.iter().step_by(37).map(|&i| ns.path_of(i).unwrap()).collect();
+    let mut g = c.benchmark_group("namespace");
+    g.bench_function("path_of", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let p = ns.path_of(ids[i % ids.len()]).unwrap();
+            i += 13;
+            p
+        })
+    });
+    g.bench_function("resolve", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let id = ns.resolve(&paths[i % paths.len()]).unwrap();
+            i += 1;
+            id
+        })
+    });
+    g.bench_function("ancestors_walk", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let n = ns.ancestors(ids[i % ids.len()]).count();
+            i += 7;
+            n
+        })
+    });
+    g.finish();
+}
+
+fn bench_popularity(c: &mut Criterion) {
+    c.bench_function("popularity_record", |b| {
+        let mut pop = Popularity::new(SimDuration::from_secs(10));
+        let mut t = SimTime::ZERO;
+        let mut i = 0u64;
+        b.iter(|| {
+            t += SimDuration::from_micros(50);
+            pop.record(t, InodeId(i % 512));
+            i += 1;
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_event_queue,
+    bench_hashing,
+    bench_namespace,
+    bench_popularity
+);
+criterion_main!(benches);

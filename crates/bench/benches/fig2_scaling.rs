@@ -1,0 +1,24 @@
+//! Figure 2 bench: the steady-state scaling run that yields per-MDS
+//! throughput, one benchmark per strategy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynmds_bench::mini_steady;
+use dynmds_partition::StrategyKind;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_scaling");
+    g.sample_size(10);
+    for strategy in StrategyKind::ALL {
+        g.bench_function(strategy.label(), |b| {
+            b.iter(|| {
+                let r = mini_steady(strategy, 600);
+                assert!(r.avg_mds_throughput() > 0.0);
+                r.total_served()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 3 bench: the same steady-state run projected to prefix-cache
+//! occupancy; asserts the hashed-vs-subtree ordering each iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynmds_bench::mini_steady;
+use dynmds_partition::StrategyKind;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_prefixes");
+    g.sample_size(10);
+    g.bench_function("filehash_vs_subtree", |b| {
+        b.iter(|| {
+            let hashed = mini_steady(StrategyKind::FileHash, 600);
+            let subtree = mini_steady(StrategyKind::StaticSubtree, 600);
+            assert!(hashed.mean_prefix_pct() > subtree.mean_prefix_pct());
+            (hashed.mean_prefix_pct(), subtree.mean_prefix_pct())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

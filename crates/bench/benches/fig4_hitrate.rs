@@ -1,0 +1,23 @@
+//! Figure 4 bench: hit-rate measurement across cache sizes for one
+//! strategy (the sweep's unit of work).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynmds_bench::mini_steady;
+use dynmds_partition::StrategyKind;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_hitrate");
+    g.sample_size(10);
+    for cache in [200usize, 800] {
+        g.bench_function(format!("dynamic_cache_{cache}"), |b| {
+            b.iter(|| {
+                let r = mini_steady(StrategyKind::DynamicSubtree, cache);
+                r.overall_hit_rate()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 5 bench: the workload-shift run (dynamic strategy) whose
+//! per-node throughput range the figure plots.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynmds_core::{SimConfig, Simulation};
+use dynmds_event::SimTime;
+use dynmds_namespace::{ClientId, NamespaceSpec};
+use dynmds_partition::{StrategyKind, SubtreePartition};
+use dynmds_workload::{GeneralWorkload, ShiftingWorkload, WorkloadConfig};
+
+fn run_shift(strategy: StrategyKind) -> u64 {
+    let mut cfg = SimConfig::small(strategy);
+    cfg.n_mds = 4;
+    cfg.n_clients = 24;
+    cfg.seed = 4242;
+    let snap = NamespaceSpec::with_target_items(36, 6_000, 5).generate();
+    let active = &snap.user_homes[..24];
+    let reserve = &snap.user_homes[24..];
+    let preview = SubtreePartition::initial_near_root(&snap.ns, cfg.n_mds, 2);
+    let victim = preview.authority(&snap.ns, reserve[0]);
+    let dest: Vec<_> = reserve
+        .iter()
+        .copied()
+        .filter(|&h| preview.authority(&snap.ns, h) == victim)
+        .collect();
+    let base = GeneralWorkload::new(
+        WorkloadConfig { seed: 7, ..Default::default() },
+        24,
+        active,
+        &snap.shared_roots,
+        &snap.ns,
+    );
+    let movers: Vec<ClientId> = (0..24).filter(|c| c % 2 == 0).map(ClientId).collect();
+    let wl = Box::new(ShiftingWorkload::new(base, SimTime::from_secs(2), movers, dest));
+    let mut sim = Simulation::new(cfg, snap, wl);
+    sim.run_until(SimTime::from_secs(6));
+    sim.finish().total_served()
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_shift");
+    g.sample_size(10);
+    g.bench_function("dynamic", |b| b.iter(|| run_shift(StrategyKind::DynamicSubtree)));
+    g.bench_function("static", |b| b.iter(|| run_shift(StrategyKind::StaticSubtree)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

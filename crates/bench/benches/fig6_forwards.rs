@@ -1,0 +1,45 @@
+//! Figure 6 bench: forwarded-request accounting under client route
+//! discovery (a cold-start run where forwarding is the dominant signal).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynmds_core::{SimConfig, Simulation};
+use dynmds_event::SimTime;
+use dynmds_namespace::NamespaceSpec;
+use dynmds_partition::StrategyKind;
+use dynmds_workload::{GeneralWorkload, WorkloadConfig};
+
+fn cold_forwards(strategy: StrategyKind) -> (u64, u64) {
+    let mut cfg = SimConfig::small(strategy);
+    cfg.n_mds = 4;
+    cfg.n_clients = 24;
+    cfg.seed = 6;
+    let snap = NamespaceSpec::with_target_items(24, 6_000, 6).generate();
+    let wl = Box::new(GeneralWorkload::new(
+        WorkloadConfig { seed: 66, ..Default::default() },
+        24,
+        &snap.user_homes,
+        &snap.shared_roots,
+        &snap.ns,
+    ));
+    let mut sim = Simulation::new(cfg, snap, wl);
+    sim.run_until(SimTime::from_secs(4));
+    let r = sim.finish();
+    (r.total_forwarded(), r.total_received())
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_forwards");
+    g.sample_size(10);
+    g.bench_function("static_discovery", |b| {
+        b.iter(|| {
+            let (fwd, recv) = cold_forwards(StrategyKind::StaticSubtree);
+            assert!(fwd > 0, "cold clients must forward");
+            assert!(fwd * 2 < recv, "learning must contain forwarding");
+            fwd
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 7 bench: the flash-crowd run, with and without traffic control;
+//! asserts the paper's contrast each iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynmds_bench::mini_flash;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_flashcrowd");
+    g.sample_size(10);
+    g.bench_function("traffic_control_on", |b| b.iter(|| mini_flash(true).total_served()));
+    g.bench_function("traffic_control_off", |b| b.iter(|| mini_flash(false).total_served()));
+    g.bench_function("contrast", |b| {
+        b.iter(|| {
+            let on = mini_flash(true);
+            let off = mini_flash(false);
+            assert!(on.total_served() > off.total_served(), "TC raises crowd throughput");
+            on.total_served() - off.total_served()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Per-MDS metadata cache.
+//!
+//! Two mechanisms from the paper live here:
+//!
+//! * [`MetaCache`] (in [`lru`]) — an LRU cache with **prefix pinning**:
+//!   "only leaf items may be expired from the cache; directories may not
+//!   be removed until items contained within them are expired first"
+//!   (§4.1), so the cached subset of the hierarchy is always a tree, and
+//!   with **near-tail prefetch insertion**: "prefetched metadata is
+//!   inserted near the tail of the cache's LRU list to avoid displacing
+//!   known useful information" (§4.5). The cache also accounts which
+//!   entries are held only as *prefixes* (ancestors cached for path
+//!   traversal) — the quantity plotted in Figure 3.
+//!
+//! * [`Popularity`] (in [`popularity`]) — "a simple access counter whose
+//!   value decays over time" (§4.4), the signal the traffic-control
+//!   mechanism uses to decide when to replicate hot metadata.
+
+pub mod lru;
+pub mod popularity;
+
+pub use lru::{CacheError, CacheStats, InsertKind, MetaCache};
+pub use popularity::Popularity;

@@ -1,0 +1,651 @@
+//! Segmented LRU with prefix pinning.
+//!
+//! Layout: two intrusive doubly-linked lists over a hash map —
+//! a **protected** segment for directly requested items and traversal
+//! prefixes, and a **probation** segment where prefetched items enter
+//! ("near the tail of the LRU list", §4.5). Eviction scans the probation
+//! tail first, then the protected tail, skipping *pinned* entries —
+//! directories with cached children — so the cached subset of the
+//! hierarchy always remains a tree (§4.1).
+//!
+//! If every entry is pinned (pathological all-directory caches) the cache
+//! is allowed to exceed capacity rather than violate the tree invariant;
+//! the overflow is counted and visible to experiments.
+
+use std::collections::HashMap;
+
+use dynmds_namespace::InodeId;
+
+/// How an item entered the cache; determines its initial LRU position and
+/// its prefix accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertKind {
+    /// Directly requested by a client operation.
+    Target,
+    /// An ancestor directory cached only to serve path traversal.
+    Prefix,
+    /// A sibling loaded by a whole-directory fetch; enters on probation.
+    Prefetch,
+}
+
+/// Errors from explicit cache mutation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheError {
+    /// The id is not cached.
+    NotCached,
+    /// The entry still has cached children and cannot be removed.
+    Pinned,
+}
+
+/// Which list an entry currently lives on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Segment {
+    Protected,
+    Probation,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    prev: Option<InodeId>,
+    next: Option<InodeId>,
+    seg: Segment,
+    /// Parent in the cached tree (must itself be cached), `None` for root.
+    parent: Option<InodeId>,
+    /// Number of cached children pointing at this entry.
+    pins: u32,
+    /// Still held only as a traversal prefix / unrequested prefetch.
+    is_prefix: bool,
+}
+
+/// Head/tail pointers of one segment. `head` is the MRU end.
+#[derive(Clone, Copy, Debug, Default)]
+struct Ends {
+    head: Option<InodeId>,
+    tail: Option<InodeId>,
+}
+
+/// Cumulative cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted by capacity pressure.
+    pub evictions: u64,
+    /// Inserts that found no evictable entry and exceeded capacity.
+    pub overflows: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all lookups so far (1.0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The per-MDS metadata cache. Capacity is measured in inodes, matching
+/// the paper's treatment of MDS memory as "cache size relative to total
+/// metadata size".
+pub struct MetaCache {
+    cap: usize,
+    map: HashMap<InodeId, Node>,
+    protected: Ends,
+    probation: Ends,
+    probation_enabled: bool,
+    stats: CacheStats,
+}
+
+impl MetaCache {
+    /// Creates a cache holding at most `cap` inodes (`cap > 0`), with
+    /// near-tail prefetch insertion enabled (§4.5).
+    pub fn new(cap: usize) -> Self {
+        Self::with_probation(cap, true)
+    }
+
+    /// Creates a cache with the probation segment optionally disabled —
+    /// prefetched items then enter at the MRU head like everything else
+    /// (the ablation of §4.5's "inserted near the tail of the LRU list").
+    pub fn with_probation(cap: usize, probation_enabled: bool) -> Self {
+        assert!(cap > 0, "cache capacity must be positive");
+        MetaCache {
+            cap,
+            map: HashMap::with_capacity(cap + 1),
+            protected: Ends::default(),
+            probation: Ends::default(),
+            probation_enabled,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Current number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `id` is cached (no LRU side effects).
+    pub fn contains(&self, id: InodeId) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets hit/miss/eviction counters (contents untouched); used when a
+    /// measurement window starts after warm-up.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Number of cached children pinning `id`.
+    pub fn pins(&self, id: InodeId) -> Option<u32> {
+        self.map.get(&id).map(|n| n.pins)
+    }
+
+    /// Whether `id` is held only as a prefix (never directly requested).
+    pub fn is_prefix(&self, id: InodeId) -> Option<bool> {
+        self.map.get(&id).map(|n| n.is_prefix)
+    }
+
+    /// Count of prefix-only entries — the Figure 3 numerator.
+    pub fn prefix_count(&self) -> usize {
+        self.map.values().filter(|n| n.is_prefix).count()
+    }
+
+    /// Fraction of the cache holding prefix-only entries (0 when empty).
+    pub fn prefix_fraction(&self) -> f64 {
+        if self.map.is_empty() {
+            0.0
+        } else {
+            self.prefix_count() as f64 / self.map.len() as f64
+        }
+    }
+
+    /// Iterates over all cached ids (arbitrary order).
+    pub fn iter_ids(&self) -> impl Iterator<Item = InodeId> + '_ {
+        self.map.keys().copied()
+    }
+
+    // ---- intrusive list plumbing ------------------------------------
+
+    fn ends_mut(&mut self, seg: Segment) -> &mut Ends {
+        match seg {
+            Segment::Protected => &mut self.protected,
+            Segment::Probation => &mut self.probation,
+        }
+    }
+
+    /// Detaches `id` from its current list (entry stays in the map).
+    fn detach(&mut self, id: InodeId) {
+        let node = self.map[&id];
+        match node.prev {
+            Some(p) => self.map.get_mut(&p).expect("list link").next = node.next,
+            None => self.ends_mut(node.seg).head = node.next,
+        }
+        match node.next {
+            Some(n) => self.map.get_mut(&n).expect("list link").prev = node.prev,
+            None => self.ends_mut(node.seg).tail = node.prev,
+        }
+        let e = self.map.get_mut(&id).expect("present");
+        e.prev = None;
+        e.next = None;
+    }
+
+    /// Attaches a detached `id` at the MRU head of `seg`.
+    fn attach_head(&mut self, id: InodeId, seg: Segment) {
+        let old_head = self.ends_mut(seg).head;
+        {
+            let e = self.map.get_mut(&id).expect("present");
+            e.seg = seg;
+            e.prev = None;
+            e.next = old_head;
+        }
+        if let Some(h) = old_head {
+            self.map.get_mut(&h).expect("list link").prev = Some(id);
+        }
+        let ends = self.ends_mut(seg);
+        ends.head = Some(id);
+        if ends.tail.is_none() {
+            ends.tail = Some(id);
+        }
+    }
+
+    // ---- public operations ------------------------------------------
+
+    /// Looks `id` up, counting a hit or miss. On a hit the entry moves to
+    /// the protected MRU head; `as_target` additionally clears its prefix
+    /// flag (it is now known-useful data, not just a traversal step).
+    pub fn lookup(&mut self, id: InodeId, as_target: bool) -> bool {
+        if self.map.contains_key(&id) {
+            self.stats.hits += 1;
+            self.detach(id);
+            self.attach_head(id, Segment::Protected);
+            if as_target {
+                self.map.get_mut(&id).expect("present").is_prefix = false;
+            }
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Peeks without LRU movement or stats. Used for cache-content checks
+    /// (e.g. replica invariants) that should not perturb eviction order.
+    pub fn peek(&self, id: InodeId) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    /// Inserts `id` with the given cached `parent` (which must already be
+    /// cached, keeping the cached subset a tree; `None` for the root).
+    /// Returns the entries evicted to make room. Inserting an existing id
+    /// just refreshes its position/kind.
+    pub fn insert(
+        &mut self,
+        id: InodeId,
+        parent: Option<InodeId>,
+        kind: InsertKind,
+    ) -> Vec<InodeId> {
+        if let Some(p) = parent {
+            debug_assert!(
+                self.map.contains_key(&p),
+                "parent {p} must be cached before child {id}"
+            );
+        }
+        if self.map.contains_key(&id) {
+            // Refresh: possibly upgrade from prefix to target.
+            let as_target = kind == InsertKind::Target;
+            self.lookup(id, as_target);
+            self.stats.hits -= 1; // refresh is not a workload hit
+            return Vec::new();
+        }
+
+        // Figure 3 counts ancestor-directory (prefix) inodes; speculative
+        // prefetch data is not a prefix.
+        let is_prefix = kind == InsertKind::Prefix;
+        let seg = match kind {
+            InsertKind::Prefetch if self.probation_enabled => Segment::Probation,
+            _ => Segment::Protected,
+        };
+        self.map.insert(
+            id,
+            Node { prev: None, next: None, seg, parent, pins: 0, is_prefix },
+        );
+        self.attach_head(id, seg);
+        if let Some(p) = parent {
+            if let Some(pn) = self.map.get_mut(&p) {
+                pn.pins += 1;
+            }
+        }
+
+        let mut evicted = Vec::new();
+        while self.map.len() > self.cap {
+            match self.evict_one(id) {
+                Some(victim) => evicted.push(victim),
+                None => {
+                    self.stats.overflows += 1;
+                    break;
+                }
+            }
+        }
+        evicted
+    }
+
+    /// Evicts the best victim: unpinned, from the probation tail first,
+    /// then the protected tail. `protect` (the just-inserted id) is never
+    /// chosen. Returns the victim, or `None` if everything is pinned.
+    fn evict_one(&mut self, protect: InodeId) -> Option<InodeId> {
+        for seg in [Segment::Probation, Segment::Protected] {
+            let mut cur = match seg {
+                Segment::Probation => self.probation.tail,
+                Segment::Protected => self.protected.tail,
+            };
+            while let Some(id) = cur {
+                let node = self.map[&id];
+                if node.pins == 0 && id != protect {
+                    self.remove_internal(id);
+                    self.stats.evictions += 1;
+                    return Some(id);
+                }
+                cur = node.prev;
+            }
+        }
+        None
+    }
+
+    /// Removes `id` regardless of segment, unpinning its parent.
+    fn remove_internal(&mut self, id: InodeId) {
+        self.detach(id);
+        let node = self.map.remove(&id).expect("present");
+        debug_assert_eq!(node.pins, 0, "removing pinned entry {id}");
+        if let Some(p) = node.parent {
+            if let Some(pn) = self.map.get_mut(&p) {
+                debug_assert!(pn.pins > 0, "pin underflow on {p}");
+                pn.pins -= 1;
+            }
+        }
+    }
+
+    /// Explicitly removes `id` (replica invalidation, subtree migration).
+    /// Fails if the entry still has cached children.
+    pub fn remove(&mut self, id: InodeId) -> Result<(), CacheError> {
+        match self.map.get(&id) {
+            None => Err(CacheError::NotCached),
+            Some(n) if n.pins > 0 => Err(CacheError::Pinned),
+            Some(_) => {
+                self.remove_internal(id);
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes a set of entries that form a subtree (or any set closed
+    /// under "cached child of"), handling ordering internally. Returns how
+    /// many were actually removed.
+    pub fn remove_set(&mut self, ids: &[InodeId]) -> usize {
+        let mut pending: Vec<InodeId> = ids.iter().copied().filter(|i| self.contains(*i)).collect();
+        let mut removed = 0;
+        // Repeatedly strip unpinned members; children leave before parents.
+        loop {
+            let mut progress = false;
+            pending.retain(|&id| {
+                if self.map.get(&id).map(|n| n.pins == 0).unwrap_or(false) {
+                    self.remove_internal(id);
+                    removed += 1;
+                    progress = true;
+                    false
+                } else {
+                    self.contains(id)
+                }
+            });
+            if !progress || pending.is_empty() {
+                break;
+            }
+        }
+        removed
+    }
+
+    /// Debug invariant check used by tests: list structure consistent,
+    /// pins match child counts, parents always cached.
+    #[doc(hidden)]
+    pub fn check_integrity(&self) {
+        // Walk both lists, count reachable nodes.
+        let mut seen = 0usize;
+        for (ends, seg) in [(self.protected, Segment::Protected), (self.probation, Segment::Probation)] {
+            let mut prev: Option<InodeId> = None;
+            let mut cur = ends.head;
+            while let Some(id) = cur {
+                let n = &self.map[&id];
+                assert_eq!(n.seg, seg, "entry {id} on wrong segment list");
+                assert_eq!(n.prev, prev, "broken prev link at {id}");
+                seen += 1;
+                prev = Some(id);
+                cur = n.next;
+            }
+            assert_eq!(ends.tail, prev, "tail pointer mismatch");
+        }
+        assert_eq!(seen, self.map.len(), "list membership mismatch");
+
+        // Pins equal cached-child counts; parents are cached.
+        let mut child_counts: HashMap<InodeId, u32> = HashMap::new();
+        for n in self.map.values() {
+            if let Some(p) = n.parent {
+                assert!(self.map.contains_key(&p), "cached child with uncached parent {p}");
+                *child_counts.entry(p).or_insert(0) += 1;
+            }
+        }
+        for (id, n) in &self.map {
+            assert_eq!(n.pins, child_counts.get(id).copied().unwrap_or(0), "pin count wrong on {id}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> InodeId {
+        InodeId(n)
+    }
+
+    #[test]
+    fn insert_and_lookup_hit() {
+        let mut c = MetaCache::new(4);
+        c.insert(id(1), None, InsertKind::Target);
+        assert!(c.lookup(id(1), true));
+        assert!(!c.lookup(id(2), true));
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        c.check_integrity();
+    }
+
+    #[test]
+    fn evicts_lru_when_full() {
+        let mut c = MetaCache::new(3);
+        c.insert(id(1), None, InsertKind::Target);
+        c.insert(id(2), None, InsertKind::Target);
+        c.insert(id(3), None, InsertKind::Target);
+        let ev = c.insert(id(4), None, InsertKind::Target);
+        assert_eq!(ev, vec![id(1)], "oldest entry evicted");
+        assert!(!c.contains(id(1)));
+        assert_eq!(c.len(), 3);
+        c.check_integrity();
+    }
+
+    #[test]
+    fn lookup_refreshes_lru_position() {
+        let mut c = MetaCache::new(3);
+        c.insert(id(1), None, InsertKind::Target);
+        c.insert(id(2), None, InsertKind::Target);
+        c.insert(id(3), None, InsertKind::Target);
+        c.lookup(id(1), true); // 1 becomes MRU
+        let ev = c.insert(id(4), None, InsertKind::Target);
+        assert_eq!(ev, vec![id(2)]);
+        assert!(c.contains(id(1)));
+        c.check_integrity();
+    }
+
+    #[test]
+    fn pinned_directories_survive_eviction() {
+        let mut c = MetaCache::new(3);
+        c.insert(id(10), None, InsertKind::Prefix); // dir
+        c.insert(id(11), Some(id(10)), InsertKind::Target); // child pins 10
+        c.insert(id(12), None, InsertKind::Target);
+        // id(10) is oldest but pinned; eviction must take id(12)... no:
+        // id(12) is newer than 11. LRU order (old→new): 10, 11, 12.
+        // 10 pinned → evict 11 (unpins 10).
+        let ev = c.insert(id(13), None, InsertKind::Target);
+        assert_eq!(ev, vec![id(11)]);
+        assert!(c.contains(id(10)));
+        assert_eq!(c.pins(id(10)), Some(0), "unpinned after child eviction");
+        c.check_integrity();
+    }
+
+    #[test]
+    fn leaves_evict_before_ancestors() {
+        // Chain root→a→b with one extra leaf; the chain dirs stay pinned
+        // until their descendants leave.
+        let mut c = MetaCache::new(3);
+        c.insert(id(1), None, InsertKind::Prefix);
+        c.insert(id(2), Some(id(1)), InsertKind::Prefix);
+        c.insert(id(3), Some(id(2)), InsertKind::Target);
+        let ev = c.insert(id(4), None, InsertKind::Target);
+        assert_eq!(ev, vec![id(3)], "leaf goes first");
+        let ev = c.insert(id(5), None, InsertKind::Target);
+        assert_eq!(ev, vec![id(2)], "now-unpinned middle dir goes next");
+        c.check_integrity();
+    }
+
+    #[test]
+    fn all_pinned_cache_overflows_instead_of_breaking_tree() {
+        let mut c = MetaCache::new(2);
+        c.insert(id(1), None, InsertKind::Prefix);
+        c.insert(id(2), Some(id(1)), InsertKind::Prefix);
+        c.insert(id(3), Some(id(2)), InsertKind::Target);
+        // 1 and 2 are pinned; 3 is the fresh insert (protected). Nothing
+        // evictable → overflow.
+        assert_eq!(c.len(), 3);
+        assert!(c.stats().overflows >= 1);
+        c.check_integrity();
+    }
+
+    #[test]
+    fn prefetch_enters_probation_and_evicts_first() {
+        let mut c = MetaCache::new(3);
+        c.insert(id(1), None, InsertKind::Target);
+        c.insert(id(2), None, InsertKind::Prefetch);
+        c.insert(id(3), None, InsertKind::Target);
+        // Capacity pressure: probation (id 2) goes before older protected.
+        let ev = c.insert(id(4), None, InsertKind::Target);
+        assert_eq!(ev, vec![id(2)], "probationary prefetch evicted first");
+        c.check_integrity();
+    }
+
+    #[test]
+    fn prefetch_hit_promotes_to_protected() {
+        let mut c = MetaCache::new(3);
+        c.insert(id(1), None, InsertKind::Target);
+        c.insert(id(2), None, InsertKind::Prefetch);
+        c.lookup(id(2), true); // promoted
+        c.insert(id(3), None, InsertKind::Target);
+        let ev = c.insert(id(4), None, InsertKind::Target);
+        assert_eq!(ev, vec![id(1)], "promoted entry outlives older protected");
+        assert_eq!(c.is_prefix(id(2)), Some(false));
+        c.check_integrity();
+    }
+
+    #[test]
+    fn prefix_accounting_tracks_upgrades() {
+        let mut c = MetaCache::new(10);
+        c.insert(id(1), None, InsertKind::Prefix);
+        c.insert(id(2), Some(id(1)), InsertKind::Target);
+        c.insert(id(3), Some(id(1)), InsertKind::Prefetch);
+        assert_eq!(c.prefix_count(), 1, "only the ancestor dir is a prefix");
+        assert!((c.prefix_fraction() - 1.0 / 3.0).abs() < 1e-9);
+        // Traversal touch does NOT upgrade the prefix dir.
+        c.lookup(id(1), false);
+        assert_eq!(c.prefix_count(), 1);
+        // Direct request does.
+        c.lookup(id(1), true);
+        assert_eq!(c.prefix_count(), 0);
+        c.check_integrity();
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_counting_hit() {
+        let mut c = MetaCache::new(3);
+        c.insert(id(1), None, InsertKind::Prefix);
+        let before = c.stats();
+        c.insert(id(1), None, InsertKind::Target);
+        let after = c.stats();
+        assert_eq!(before.hits, after.hits, "refresh is not a workload hit");
+        assert_eq!(c.is_prefix(id(1)), Some(false), "upgraded to target");
+        assert_eq!(c.len(), 1);
+        c.check_integrity();
+    }
+
+    #[test]
+    fn remove_respects_pins() {
+        let mut c = MetaCache::new(10);
+        c.insert(id(1), None, InsertKind::Prefix);
+        c.insert(id(2), Some(id(1)), InsertKind::Target);
+        assert_eq!(c.remove(id(1)), Err(CacheError::Pinned));
+        assert_eq!(c.remove(id(9)), Err(CacheError::NotCached));
+        assert_eq!(c.remove(id(2)), Ok(()));
+        assert_eq!(c.remove(id(1)), Ok(()));
+        assert!(c.is_empty());
+        c.check_integrity();
+    }
+
+    #[test]
+    fn remove_set_handles_ordering() {
+        let mut c = MetaCache::new(10);
+        c.insert(id(1), None, InsertKind::Prefix);
+        c.insert(id(2), Some(id(1)), InsertKind::Prefix);
+        c.insert(id(3), Some(id(2)), InsertKind::Target);
+        // Parent-first order still works.
+        let removed = c.remove_set(&[id(1), id(2), id(3)]);
+        assert_eq!(removed, 3);
+        assert!(c.is_empty());
+        c.check_integrity();
+    }
+
+    #[test]
+    fn remove_set_leaves_pinned_members_with_outside_children() {
+        let mut c = MetaCache::new(10);
+        c.insert(id(1), None, InsertKind::Prefix);
+        c.insert(id(2), Some(id(1)), InsertKind::Target);
+        c.insert(id(3), Some(id(1)), InsertKind::Target);
+        // Try to remove 1 and 2 only; 3 still pins 1.
+        let removed = c.remove_set(&[id(1), id(2)]);
+        assert_eq!(removed, 1, "only the leaf leaves");
+        assert!(c.contains(id(1)));
+        c.check_integrity();
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut c = MetaCache::new(4);
+        assert_eq!(c.stats().hit_rate(), 1.0, "no lookups yet");
+        c.insert(id(1), None, InsertKind::Target);
+        c.lookup(id(1), true);
+        c.lookup(id(2), true);
+        c.lookup(id(3), true);
+        assert!((c.stats().hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+        c.reset_stats();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert_eq!(c.len(), 1, "reset keeps contents");
+    }
+
+    #[test]
+    fn eviction_reports_enable_authority_notification() {
+        // The MDS must be able to tell the authority which replicas it
+        // dropped (§4.2); every eviction is therefore surfaced.
+        let mut c = MetaCache::new(2);
+        c.insert(id(1), None, InsertKind::Target);
+        c.insert(id(2), None, InsertKind::Target);
+        let ev1 = c.insert(id(3), None, InsertKind::Target);
+        let ev2 = c.insert(id(4), None, InsertKind::Target);
+        assert_eq!(ev1, vec![id(1)]);
+        assert_eq!(ev2, vec![id(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        MetaCache::new(0);
+    }
+
+    #[test]
+    fn disabled_probation_makes_prefetch_mru() {
+        let mut c = MetaCache::with_probation(3, false);
+        c.insert(id(1), None, InsertKind::Target);
+        c.insert(id(2), None, InsertKind::Prefetch);
+        c.insert(id(3), None, InsertKind::Target);
+        // Without probation the prefetch is MRU-protected: the oldest
+        // target leaves first.
+        let ev = c.insert(id(4), None, InsertKind::Target);
+        assert_eq!(ev, vec![id(1)], "prefetch was not sacrificed first");
+        assert!(c.contains(id(2)));
+        assert_eq!(c.is_prefix(id(2)), Some(false), "prefetch is not a prefix");
+        c.check_integrity();
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests: the cache keeps its tree/pinning/list invariants under
+//! arbitrary operation sequences driven by a real namespace.
+
+use dynmds_cache::{InsertKind, MetaCache};
+use dynmds_namespace::{InodeId, NamespaceSpec};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Action {
+    /// Insert the id-th live inode along with its ancestor chain.
+    InsertWithPrefixes { pick: usize, kind_sel: u8 },
+    Lookup { pick: usize, as_target: bool },
+    Remove { pick: usize },
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (any::<usize>(), any::<u8>())
+            .prop_map(|(pick, kind_sel)| Action::InsertWithPrefixes { pick, kind_sel }),
+        (any::<usize>(), any::<bool>()).prop_map(|(pick, as_target)| Action::Lookup { pick, as_target }),
+        any::<usize>().prop_map(|pick| Action::Remove { pick }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cache_invariants_hold(
+        actions in prop::collection::vec(action_strategy(), 1..200),
+        cap in 4usize..64,
+        seed in 0u64..100,
+    ) {
+        let snap = NamespaceSpec { users: 4, mean_dirs_per_user: 5.0, seed, ..Default::default() }.generate();
+        let ns = snap.ns;
+        let ids: Vec<InodeId> = ns.live_ids().collect();
+        let mut cache = MetaCache::new(cap);
+
+        for action in &actions {
+            match *action {
+                Action::InsertWithPrefixes { pick, kind_sel } => {
+                    let id = ids[pick % ids.len()];
+                    // Insert ancestors root-first so parents are cached.
+                    let mut chain: Vec<InodeId> = ns.ancestors(id).collect();
+                    chain.reverse();
+                    for &anc in &chain {
+                        let parent = ns.parent(anc).unwrap();
+                        cache.insert(anc, parent.filter(|p| cache.contains(*p)), InsertKind::Prefix);
+                    }
+                    let kind = match kind_sel % 3 {
+                        0 => InsertKind::Target,
+                        1 => InsertKind::Prefix,
+                        _ => InsertKind::Prefetch,
+                    };
+                    let parent = ns.parent(id).unwrap().filter(|p| cache.contains(*p));
+                    cache.insert(id, parent, kind);
+                }
+                Action::Lookup { pick, as_target } => {
+                    let id = ids[pick % ids.len()];
+                    cache.lookup(id, as_target);
+                }
+                Action::Remove { pick } => {
+                    let id = ids[pick % ids.len()];
+                    let _ = cache.remove(id);
+                }
+            }
+            cache.check_integrity();
+        }
+
+        // Capacity respected unless overflows were recorded.
+        if cache.stats().overflows == 0 {
+            prop_assert!(cache.len() <= cap, "len {} > cap {}", cache.len(), cap);
+        }
+        // Every cached entry's namespace ancestors that we chose as parents
+        // are cached (integrity already asserts parent links).
+        prop_assert!(cache.prefix_count() <= cache.len());
+    }
+
+    #[test]
+    fn eviction_total_accounting(seed in 0u64..100, cap in 4usize..32) {
+        // Insert a long stream of root-level entries; inserted == evicted + resident.
+        let mut cache = MetaCache::new(cap);
+        let mut evicted = 0usize;
+        let n = 500u64;
+        for i in 0..n {
+            evicted += cache.insert(InodeId(i.wrapping_add(seed)), None, InsertKind::Target).len();
+        }
+        prop_assert_eq!(evicted + cache.len(), n as usize);
+        cache.check_integrity();
+    }
+}

@@ -1,0 +1,1000 @@
+//! The MDS cluster: event handling and the request-service pipeline.
+//!
+//! One [`Cluster`] is the [`Handler`] driven by the event engine. The
+//! service pipeline for a request follows §4:
+//!
+//! 1. **Routing** — the client picked a server (deepest known prefix, or
+//!    the hash function); if that server is not authoritative and cannot
+//!    serve a replica read, it forwards to the authority (one hop).
+//! 2. **Path traversal** — the serving node walks the target's prefix
+//!    directories in its cache, fetching (locally or from peer
+//!    authorities) whatever is missing; the cached subset stays a tree.
+//!    Lazy Hybrid skips traversal and instead pays for any pending lazy
+//!    updates.
+//! 3. **Target access** — cache hit, or a tier-2 fetch that, under the
+//!    embedded-directories layout, prefetches the whole directory.
+//! 4. **Mutation** — namespace update + journal append (tier-1 commit);
+//!    retired journal entries stream to tier 2 asynchronously.
+//! 5. **Popularity / traffic control** — decayed counters; hot items are
+//!    replicated cluster-wide and replies advertise the replica set.
+//! 6. **Reply** — carries location information that educates the client.
+
+use std::collections::HashSet;
+
+use dynmds_cache::InsertKind;
+use dynmds_event::{EventQueue, Handler, SimDuration, SimRng, SimTime};
+use dynmds_metrics::{Summary, TimeSeries};
+use dynmds_namespace::{ClientId, InodeId, MdsId, Namespace, Permissions, Snapshot};
+use dynmds_partition::{dentry_hash, Partition, StrategyKind};
+use dynmds_storage::{AnchorTable, MetadataStore, OsdPool, StoreLayout};
+use dynmds_workload::{Op, Workload};
+
+use crate::client::{ClientPool, KnownLocation};
+use crate::config::SimConfig;
+use crate::node::MdsNode;
+use crate::report::{NodeSnapshot, SimReport};
+use crate::request::{Request, SimEvent};
+
+/// The whole simulated system. See module docs.
+pub struct Cluster {
+    /// Configuration of this run.
+    pub cfg: SimConfig,
+    /// Shared ground-truth namespace.
+    pub ns: Namespace,
+    /// Placement function.
+    pub partition: Partition,
+    /// Tier-2 store over the OSD pool.
+    pub store: MetadataStore,
+    /// Anchor table for multiply-linked inodes.
+    pub anchors: AnchorTable,
+    /// The metadata servers.
+    pub nodes: Vec<MdsNode>,
+    /// The client population.
+    pub clients: ClientPool,
+    /// Operation source.
+    pub workload: Box<dyn Workload>,
+    pub(crate) rng: SimRng,
+
+    // --- traffic control state (§4.4) ---------------------------------
+    /// Items currently replicated cluster-wide.
+    pub(crate) replicated: HashSet<InodeId>,
+
+    // --- dynamic directory hashing (§4.3) ------------------------------
+    /// Directories currently spread entry-wise across the cluster.
+    pub(crate) hashed_dirs: HashSet<InodeId>,
+
+    // --- balancer bookkeeping (§4.3) -----------------------------------
+    /// Per node: subtree roots imported through balancing (re-delegated
+    /// first when shedding load).
+    pub(crate) imported: Vec<Vec<InodeId>>,
+    /// Ops per delegation root since the last heartbeat.
+    pub(crate) subtree_ops: std::collections::HashMap<InodeId, u64>,
+    /// Last migration time per subtree root (anti-thrash cooldown).
+    pub(crate) last_migrated: std::collections::HashMap<InodeId, SimTime>,
+    /// When each delegation point was created by a split (consolidation
+    /// protection until it has had a chance to migrate).
+    pub(crate) split_at: std::collections::HashMap<InodeId, SimTime>,
+    /// Served ops per node since the last heartbeat.
+    pub(crate) hb_served: Vec<u64>,
+    /// Cache misses per node since the last heartbeat.
+    pub(crate) hb_misses: Vec<u64>,
+    /// Exponentially smoothed load per node (heartbeat granularity).
+    pub(crate) hb_ewma: Vec<f64>,
+    /// Consecutive heartbeats each node has been over the imbalance
+    /// threshold; migration needs persistence, not a noisy spike.
+    pub(crate) busy_streak: Vec<u32>,
+    /// Total subtree migrations performed.
+    pub migrations: u64,
+
+    // --- failover state (§2.1.2) ---------------------------------------
+    /// Liveness per node.
+    pub(crate) alive: Vec<bool>,
+    /// Node failures injected.
+    pub failures: u64,
+    /// Node recoveries performed.
+    pub recoveries: u64,
+    /// Requests that timed out against a dead node and were re-driven.
+    pub failover_timeouts: u64,
+
+    // --- accounting -----------------------------------------------------
+    /// Served operations by kind (MDS-visible; lease-served reads are not
+    /// included).
+    pub op_counts: std::collections::HashMap<dynmds_workload::OpKind, u64>,
+
+    // --- shared writes (§4.2, GPFS-style) ------------------------------
+    /// Items with outstanding replica-absorbed write deltas.
+    pub(crate) dirty_shared: HashSet<InodeId>,
+    /// Writes absorbed at non-authoritative replicas.
+    pub shared_write_absorbed: u64,
+    /// Delta pushes merged at authorities (heartbeat + read callbacks).
+    pub shared_write_flushes: u64,
+
+    // --- metrics --------------------------------------------------------
+    pub(crate) measure_start: SimTime,
+    pub(crate) served_series: Vec<TimeSeries>,
+    pub(crate) forwarded_series: Vec<TimeSeries>,
+    pub(crate) received_series: Vec<TimeSeries>,
+    pub(crate) latency: Summary,
+}
+
+impl Cluster {
+    /// Builds the cluster over a generated snapshot and workload.
+    pub fn new(cfg: SimConfig, snapshot: Snapshot, workload: Box<dyn Workload>) -> Self {
+        let ns = snapshot.ns;
+        let partition = Partition::initial(cfg.strategy, &ns, cfg.n_mds);
+        let layout = if cfg.strategy.embeds_inodes() && !cfg.force_inode_table {
+            StoreLayout::EmbeddedDirectories
+        } else {
+            StoreLayout::InodeTable
+        };
+        let store = MetadataStore::new(layout, OsdPool::new(cfg.n_osds, cfg.costs.osd_disk));
+        let mut nodes: Vec<MdsNode> = (0..cfg.n_mds)
+            .map(|i| {
+                MdsNode::new(
+                    MdsId(i),
+                    cfg.cache_capacity,
+                    cfg.journal_capacity,
+                    cfg.costs.journal_disk,
+                    cfg.popularity_half_life,
+                )
+            })
+            .collect();
+        if cfg.disable_prefetch_probation {
+            for n in &mut nodes {
+                n.cache = dynmds_cache::MetaCache::with_probation(cfg.cache_capacity, false);
+            }
+        }
+        // The root is known to (and cached by) every node from the start.
+        for n in &mut nodes {
+            n.cache.insert(ns.root(), None, InsertKind::Prefix);
+        }
+        let mut clients = ClientPool::new(cfg.n_clients, cfg.n_mds, cfg.seed);
+        for c in 0..cfg.n_clients {
+            let uid = workload.uid_of(ClientId(c));
+            clients.set_uid(ClientId(c), uid);
+        }
+        let n = cfg.n_mds as usize;
+        Cluster {
+            rng: SimRng::seed_from_u64(cfg.seed ^ 0x5EED),
+            ns,
+            partition,
+            store,
+            anchors: AnchorTable::new(),
+            nodes,
+            clients,
+            workload,
+            replicated: HashSet::new(),
+            hashed_dirs: HashSet::new(),
+            imported: vec![Vec::new(); n],
+            subtree_ops: std::collections::HashMap::new(),
+            last_migrated: std::collections::HashMap::new(),
+            split_at: std::collections::HashMap::new(),
+            hb_served: vec![0; n],
+            hb_misses: vec![0; n],
+            hb_ewma: vec![0.0; n],
+            busy_streak: vec![0; n],
+            migrations: 0,
+            alive: vec![true; n],
+            failures: 0,
+            recoveries: 0,
+            failover_timeouts: 0,
+            op_counts: std::collections::HashMap::new(),
+            dirty_shared: HashSet::new(),
+            shared_write_absorbed: 0,
+            shared_write_flushes: 0,
+            measure_start: SimTime::ZERO,
+            served_series: vec![TimeSeries::new(); n],
+            forwarded_series: vec![TimeSeries::new(); n],
+            received_series: vec![TimeSeries::new(); n],
+            latency: Summary::new(),
+            cfg,
+        }
+    }
+
+    /// The authoritative MDS for `id`, honouring dynamic directory
+    /// hashing: entries of a hashed directory are owned entry-wise.
+    pub fn authority_of(&self, id: InodeId) -> MdsId {
+        if !self.hashed_dirs.is_empty() {
+            if let Ok(Some(p)) = self.ns.parent(id) {
+                if self.hashed_dirs.contains(&p) {
+                    if let Ok(name) = self.ns.name(id) {
+                        return dentry_hash(p, name, self.cfg.n_mds);
+                    }
+                }
+            }
+        }
+        self.partition.authority(&self.ns, id)
+    }
+
+    /// The authoritative MDS for an *operation*: like [`authority_of`] on
+    /// the target, except that namespace operations naming an entry of a
+    /// hashed directory are owned by the entry's hash — "the authority for
+    /// a given directory entry is defined by a hash of the file name and
+    /// the directory inode number", letting creates into one huge
+    /// directory spread across the whole cluster (§4.3).
+    ///
+    /// [`authority_of`]: Cluster::authority_of
+    pub fn authority_for_op(&self, op: &Op) -> MdsId {
+        if !self.hashed_dirs.is_empty() {
+            let entry = match op {
+                Op::Create { dir, name }
+                | Op::Mkdir { dir, name }
+                | Op::Unlink { dir, name }
+                | Op::Rename { dir, name, .. }
+                | Op::Link { dir, name, .. } => Some((*dir, name.as_str())),
+                _ => None,
+            };
+            if let Some((dir, name)) = entry {
+                if self.hashed_dirs.contains(&dir) {
+                    return dentry_hash(dir, name, self.cfg.n_mds);
+                }
+            }
+        }
+        self.authority_of(op.target())
+    }
+
+    /// The served-ops time series of one node (inspection hook).
+    pub fn report_served_series(&self, node: usize) -> Option<&TimeSeries> {
+        self.served_series.get(node)
+    }
+
+    /// Restarts measurement: clears series, latency, cache statistics and
+    /// lifetime counters. Called after warm-up.
+    pub fn reset_measurement(&mut self, now: SimTime) {
+        self.measure_start = now;
+        for s in self
+            .served_series
+            .iter_mut()
+            .chain(self.forwarded_series.iter_mut())
+            .chain(self.received_series.iter_mut())
+        {
+            *s = TimeSeries::new();
+        }
+        self.latency = Summary::new();
+        for n in &mut self.nodes {
+            n.cache.reset_stats();
+            n.life = Default::default();
+            n.win = Default::default();
+        }
+    }
+
+    /// Builds the final report.
+    pub fn into_report(self, end: SimTime) -> SimReport {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| NodeSnapshot {
+                hit_rate: n.cache.stats().hit_rate(),
+                prefix_fraction: n.cache.prefix_fraction(),
+                cache_len: n.cache.len(),
+                served: n.life.served,
+                forwarded: n.life.forwarded,
+                received: n.life.received,
+                disk_fetches: n.life.disk_fetches,
+                replica_serves: n.life.replica_serves,
+            })
+            .collect();
+        SimReport {
+            strategy: self.cfg.strategy,
+            n_mds: self.cfg.n_mds,
+            measure_start: self.measure_start,
+            measure_end: end,
+            served_series: self.served_series,
+            forwarded_series: self.forwarded_series,
+            received_series: self.received_series,
+            latency: self.latency,
+            nodes,
+        }
+    }
+
+    // ================= event handlers ==================================
+
+    fn on_issue(&mut self, now: SimTime, client: ClientId, queue: &mut EventQueue<SimEvent>) {
+        let op = self.workload.next_op(&self.ns, client, now);
+        let target = op.target();
+        // §4.2 client leases: attribute reads under a live lease never
+        // leave the client.
+        if self.cfg.client_leases
+            && matches!(op, Op::Stat(_) | Op::Readdir(_))
+            && self.ns.is_alive(target)
+            && self.clients.lease_valid(client, target, now)
+        {
+            let local = SimDuration::from_micros(20);
+            self.latency.record(local.as_secs_f64());
+            queue.schedule(now + local, SimEvent::Reply { client });
+            return;
+        }
+        // Subtree strategies: deepest-known-prefix routing (clients are
+        // initially ignorant). Hashed strategies: the client computes the
+        // placement itself and goes straight to the mapped server.
+        let dest = if self.cfg.strategy.is_subtree() {
+            // Possibly stale or dead — corrected by forwarding/timeout.
+            self.clients.route(&self.ns, client, target)
+        } else {
+            // Hashed clients know the placement function *and* the
+            // cluster's liveness map.
+            self.live_authority(self.authority_for_op(&op))
+        };
+        let req = Request { client, uid: self.clients.uid(client), op, issued_at: now, hops: 0 };
+        queue.schedule(now + self.cfg.costs.net_hop, SimEvent::Arrive { mds: dest, req });
+    }
+
+    fn on_arrive(
+        &mut self,
+        now: SimTime,
+        mds: MdsId,
+        req: Request,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
+        // A dead host never answers: the request times out client-side
+        // and is re-driven at the live authority.
+        if !self.alive[mds.index()] {
+            self.failover_timeouts += 1;
+            let heir = self.live_authority(self.authority_for_op(&req.op));
+            let mut retry = req;
+            retry.hops = 0;
+            queue.schedule(
+                now + crate::failover::FAILOVER_TIMEOUT + self.cfg.costs.net_hop,
+                SimEvent::Arrive { mds: heir, req: retry },
+            );
+            return;
+        }
+
+        let i = mds.index();
+        self.nodes[i].win.received += 1;
+        self.nodes[i].life.received += 1;
+
+        let target = req.op.target();
+        if !self.ns.is_alive(target) {
+            // Raced with an unlink: cheap ESTALE reply.
+            let done = self.nodes[i].occupy(now, self.cfg.costs.cpu_forward);
+            self.finish(now, mds, req, done, queue);
+            return;
+        }
+
+        let auth = self.live_authority(self.authority_for_op(&req.op));
+        let replica_read = !req.op.is_update()
+            && self.replicated.contains(&target)
+            && self.cfg.strategy.is_subtree();
+        // §4.2 shared writes: size/mtime updates to a replicated file are
+        // absorbed wherever they land and merged at the authority later.
+        let shared_write = self.is_shared_write(&req.op);
+        if mds != auth && !replica_read && !shared_write && req.hops < 3 {
+            // Forward to the authority (§4.2: "it will ordinarily forward
+            // the request to the authority").
+            self.nodes[i].win.forwarded += 1;
+            self.nodes[i].life.forwarded += 1;
+            let done = self.nodes[i].occupy(now, self.cfg.costs.cpu_forward);
+            let mut fwd = req;
+            fwd.hops += 1;
+            queue.schedule(done + self.cfg.costs.net_hop, SimEvent::Arrive { mds: auth, req: fwd });
+            return;
+        }
+
+        let reply_at = self.serve(now, mds, &req);
+        self.finish(now, mds, req, reply_at, queue);
+    }
+
+    /// Serves a request at `mds` (which is the authority, a replica
+    /// holder, or a forwarding dead-end standing in); returns the time the
+    /// reply leaves the node.
+    fn serve(&mut self, now: SimTime, mds: MdsId, req: &Request) -> SimTime {
+        let i = mds.index();
+        let target = req.op.target();
+
+        // CPU component: requests queue on the node's serial CPU.
+        let cpu_done = self.nodes[i].occupy(now, self.cfg.costs.cpu_per_op);
+        // IO component, overlapped with other requests' CPU time.
+        let mut io_done = now;
+
+        // ---- prefix handling ------------------------------------------
+        if self.cfg.strategy.needs_path_traversal() {
+            io_done = io_done.max(self.traverse(now, mds, target));
+            // POSIX permission verification over the (now cached) prefix;
+            // the outcome only shapes the reply, not the cost.
+            let _ = self.ns.check_access(target, req.uid);
+        } else if let Some(lh) = self.partition.as_lazy_mut() {
+            // Lazy Hybrid: no traversal, but pay one network round trip
+            // per pending lazy update on this item (§3.1.3).
+            let pending = lh.apply_pending(&self.ns, target);
+            let trips = pending.total();
+            if trips > 0 {
+                let rtt = self.cfg.costs.net_hop.saturating_mul(2);
+                io_done = io_done.max(now + rtt.saturating_mul(trips));
+            }
+        }
+
+        // ---- target access --------------------------------------------
+        // A read of an item with outstanding shared-write deltas triggers
+        // the §4.2 callback: gather the latest values first (one round
+        // trip).
+        if self.cfg.shared_writes
+            && !req.op.is_update()
+            && self.dirty_shared.contains(&target)
+        {
+            let contributors = self.gather_shared_writes(target);
+            if contributors > 0 {
+                io_done = io_done.max(now + self.cfg.costs.net_hop.saturating_mul(2));
+            }
+        }
+        io_done = io_done.max(self.access_target(now, mds, &req.op));
+
+        // ---- mutation + journal commit ---------------------------------
+        if req.op.is_update() {
+            io_done = io_done.max(self.apply_update(now, mds, req));
+        }
+
+        // ---- popularity & traffic control -------------------------------
+        let pop = self.nodes[i].popularity.record(now, target);
+        let write_pop = if req.op.is_update() {
+            self.nodes[i].update_popularity.record(now, target)
+        } else {
+            self.nodes[i].update_popularity.value(now, target)
+        };
+        if self.cfg.traffic_control
+            && self.cfg.strategy.is_subtree()
+            && pop > self.cfg.replication_threshold
+            && !self.replicated.contains(&target)
+            && !req.op.is_update()
+            // Read-mostly only: replicating write-hot metadata would send
+            // client updates to random nodes just to be forwarded back —
+            // unless shared writes let replicas absorb them (files only).
+            && (write_pop < 0.1 * pop
+                || (self.cfg.shared_writes && !self.ns.is_dir(target)))
+        {
+            self.replicate_everywhere(now, target);
+        }
+
+        // ---- dynamic directory hashing ----------------------------------
+        if self.cfg.dir_hash_threshold > 0 && self.cfg.strategy == StrategyKind::DynamicSubtree {
+            self.update_dir_hashing(target);
+        }
+
+        // ---- balancer accounting ----------------------------------------
+        self.hb_served[i] += 1;
+        if let Some(sub) = self.partition.as_subtree() {
+            let root = sub.subtree_root_of(&self.ns, target);
+            *self.subtree_ops.entry(root).or_insert(0) += 1;
+        }
+
+        *self.op_counts.entry(req.op.kind()).or_insert(0) += 1;
+        self.nodes[i].win.served += 1;
+        self.nodes[i].life.served += 1;
+        cpu_done.max(io_done)
+    }
+
+    /// Whether this op qualifies for replica-absorbed shared writing:
+    /// monotone size/mtime updates to a replicated, non-directory item.
+    fn is_shared_write(&self, op: &Op) -> bool {
+        self.cfg.shared_writes
+            && self.cfg.strategy.is_subtree()
+            && matches!(op, Op::Close(_) | Op::SetAttr(_))
+            && self.replicated.contains(&op.target())
+            && !self.ns.is_dir(op.target())
+    }
+
+    /// Merges all outstanding replica deltas for `id` into the shared
+    /// namespace (authority max-merge). Returns how many replicas
+    /// contributed.
+    pub(crate) fn gather_shared_writes(&mut self, id: InodeId) -> usize {
+        if !self.dirty_shared.remove(&id) {
+            return 0;
+        }
+        let mut adds = 0u64;
+        let mut mtime = 0u64;
+        let mut contributors = 0;
+        for node in &mut self.nodes {
+            if let Some((a, m)) = node.write_deltas.remove(&id) {
+                adds += a;
+                mtime = mtime.max(m);
+                contributors += 1;
+            }
+        }
+        if let Ok(ino) = self.ns.inode_mut(id) {
+            ino.size = ino.size.saturating_add(adds);
+            ino.mtime_us = ino.mtime_us.max(mtime);
+        }
+        self.shared_write_flushes += contributors as u64;
+        contributors
+    }
+
+    /// Walks the prefix directories of `target` in `mds`'s cache, loading
+    /// anything missing. Returns the IO completion time.
+    fn traverse(&mut self, now: SimTime, mds: MdsId, target: InodeId) -> SimTime {
+        let chain: Vec<InodeId> = {
+            let mut c: Vec<InodeId> = self.ns.ancestors(target).collect();
+            c.reverse(); // root first
+            c
+        };
+        let i = mds.index();
+        let mut io_done = now;
+        for dir in chain {
+            if self.nodes[i].cache.lookup(dir, false) {
+                continue;
+            }
+            self.nodes[i].win.misses += 1;
+            self.hb_misses[i] += 1;
+            let dir_auth = self.authority_of(dir);
+            if dir_auth == mds {
+                // Local miss: fetch from tier 2.
+                self.nodes[i].life.disk_fetches += 1;
+                let res = self.store.fetch_inode(now, &self.ns, dir);
+                io_done = io_done.max(res.complete_at);
+                self.install_loaded(mds, &res.loaded, dir, InsertKind::Prefix);
+            } else {
+                // Remote prefix: replicate from the peer authority — one
+                // round trip, plus the peer's disk if it misses too. This
+                // is the overhead that bloats hashed strategies' caches
+                // (§5.3.1).
+                let rtt = self.cfg.costs.net_hop.saturating_mul(2);
+                let mut remote_done = now + rtt;
+                let j = dir_auth.index();
+                if !self.nodes[j].cache.peek(dir) {
+                    self.nodes[j].life.disk_fetches += 1;
+                    let res = self.store.fetch_inode(now, &self.ns, dir);
+                    remote_done = remote_done.max(res.complete_at + rtt);
+                    self.install_loaded(dir_auth, &res.loaded, dir, InsertKind::Prefix);
+                }
+                io_done = io_done.max(remote_done);
+                let parent = self.cached_parent(mds, dir);
+                self.nodes[i].cache.insert(dir, parent, InsertKind::Prefix);
+            }
+        }
+        io_done
+    }
+
+    /// Ensures the op's target metadata is in `mds`'s cache; returns IO
+    /// completion time.
+    fn access_target(&mut self, now: SimTime, mds: MdsId, op: &Op) -> SimTime {
+        let i = mds.index();
+        let target = op.target();
+        let mut io_done = now;
+
+        match op {
+            Op::Readdir(dir) => {
+                // A readdir touches the directory *contents* object. Under
+                // the embedded layout it also loads every child inode; the
+                // inode-table layout returns names only.
+                self.nodes[i].cache.lookup(target, true);
+                // An entry-hashed directory's listing must be gathered
+                // from every node ("individual MDS nodes can act
+                // authoritatively … for all directory operations except
+                // readdir", §4.3): one scatter/gather round trip plus a
+                // small cost at each peer.
+                if self.hashed_dirs.contains(dir) {
+                    let rtt = self.cfg.costs.net_hop.saturating_mul(2);
+                    io_done = io_done.max(now + rtt);
+                    let msg = self.cfg.costs.cpu_forward;
+                    for j in 0..self.nodes.len() {
+                        if j != i && self.alive[j] {
+                            self.nodes[j].occupy(now, msg);
+                        }
+                    }
+                }
+                let all_children_cached = self
+                    .ns
+                    .children(*dir)
+                    .map(|mut it| it.all(|(_, c)| self.nodes[i].cache.peek(c)))
+                    .unwrap_or(true);
+                let embedded = self.store.layout() == StoreLayout::EmbeddedDirectories;
+                if !all_children_cached && embedded {
+                    self.nodes[i].win.misses += 1;
+                    self.hb_misses[i] += 1;
+                    self.nodes[i].life.disk_fetches += 1;
+                    let res = self.store.fetch_dir(now, &self.ns, *dir);
+                    io_done = io_done.max(res.complete_at);
+                    self.install_loaded(mds, &res.loaded, InodeId(u64::MAX), InsertKind::Prefetch);
+                } else if !embedded {
+                    // Name-list read; per-inode stats pay their own way.
+                    self.nodes[i].win.misses += 1;
+                    self.hb_misses[i] += 1;
+                    self.nodes[i].life.disk_fetches += 1;
+                    let res = self.store.fetch_dir(now, &self.ns, *dir);
+                    io_done = io_done.max(res.complete_at);
+                }
+            }
+            _ => {
+                if !self.nodes[i].cache.lookup(target, true) {
+                    self.nodes[i].win.misses += 1;
+                    self.hb_misses[i] += 1;
+                    self.nodes[i].life.disk_fetches += 1;
+                    // Entries of a hashed directory live in per-entry
+                    // storage fragments; everything else follows the
+                    // configured layout.
+                    let fragmented = self
+                        .ns
+                        .parent(target)
+                        .ok()
+                        .flatten()
+                        .map(|p| self.hashed_dirs.contains(&p))
+                        .unwrap_or(false);
+                    let res = if fragmented {
+                        self.store.fetch_fragment(now, target)
+                    } else {
+                        self.store.fetch_inode(now, &self.ns, target)
+                    };
+                    io_done = io_done.max(res.complete_at);
+                    self.install_loaded(mds, &res.loaded, target, InsertKind::Target);
+                }
+            }
+        }
+        io_done
+    }
+
+    /// Inserts fetched items into `mds`'s cache: `primary` with
+    /// `primary_kind`, everything else riding along as prefetch (probation
+    /// insertion, §4.5).
+    fn install_loaded(
+        &mut self,
+        mds: MdsId,
+        loaded: &[InodeId],
+        primary: InodeId,
+        primary_kind: InsertKind,
+    ) {
+        let i = mds.index();
+        for &id in loaded {
+            let parent = self.cached_parent(mds, id);
+            let kind = if id == primary { primary_kind } else { InsertKind::Prefetch };
+            self.nodes[i].cache.insert(id, parent, kind);
+        }
+    }
+
+    /// The namespace parent of `id` if (and only if) it is cached at
+    /// `mds` — cache tree-linking must never point at uncached parents.
+    fn cached_parent(&self, mds: MdsId, id: InodeId) -> Option<InodeId> {
+        self.ns
+            .parent(id)
+            .ok()
+            .flatten()
+            .filter(|p| self.nodes[mds.index()].cache.peek(*p))
+    }
+
+    /// Applies a mutation to the namespace, journals it, and handles
+    /// strategy-specific side effects. Returns the commit completion time.
+    fn apply_update(&mut self, now: SimTime, mds: MdsId, req: &Request) -> SimTime {
+        let i = mds.index();
+        let mut touched: Vec<InodeId> = Vec::with_capacity(2);
+
+        match &req.op {
+            Op::Close(f) | Op::SetAttr(f) => {
+                if self.is_shared_write(&req.op) {
+                    // Absorb at this replica; the authority merges later
+                    // (§4.2: "replicas serving concurrent writers can
+                    // periodically send their most recent value").
+                    let e = self.nodes[i].write_deltas.entry(*f).or_insert((0, 0));
+                    if matches!(req.op, Op::Close(_)) {
+                        e.0 += 4096;
+                    }
+                    e.1 = e.1.max(now.as_micros());
+                    self.dirty_shared.insert(*f);
+                    self.shared_write_absorbed += 1;
+                    touched.push(*f);
+                } else if let Ok(ino) = self.ns.inode_mut(*f) {
+                    ino.mtime_us = now.as_micros();
+                    if matches!(req.op, Op::Close(_)) {
+                        ino.size = ino.size.saturating_add(4096);
+                    }
+                    touched.push(*f);
+                }
+            }
+            Op::Create { dir, name } => {
+                let perm = Permissions::shared(req.uid);
+                if let Ok(id) = self.ns.create_file(*dir, name, perm) {
+                    let parent = self.cached_parent(mds, id);
+                    self.nodes[i].cache.insert(id, parent, InsertKind::Target);
+                    touched.push(id);
+                    touched.push(*dir);
+                }
+            }
+            Op::Mkdir { dir, name } => {
+                let perm = Permissions::directory(req.uid);
+                if let Ok(id) = self.ns.mkdir(*dir, name, perm) {
+                    let parent = self.cached_parent(mds, id);
+                    self.nodes[i].cache.insert(id, parent, InsertKind::Target);
+                    touched.push(id);
+                    touched.push(*dir);
+                }
+            }
+            Op::Unlink { dir, name } => {
+                if let Ok(id) = self.ns.unlink(*dir, name) {
+                    if self.ns.is_alive(id) {
+                        // A hard link was dropped; if only one link
+                        // remains the inode no longer needs anchoring.
+                        if self.ns.inode(id).map(|i| i.nlink).unwrap_or(0) <= 1
+                            && self.anchors.contains(id)
+                        {
+                            self.anchors.unanchor(id);
+                        }
+                    } else {
+                        if self.anchors.contains(id) {
+                            self.anchors.unanchor(id);
+                        }
+                        for n in &mut self.nodes {
+                            let _ = n.cache.remove(id);
+                            n.popularity.forget(id);
+                        }
+                        self.replicated.remove(&id);
+                    }
+                    touched.push(*dir);
+                }
+            }
+            Op::Link { target, dir, name }
+                if self.ns.link(*target, *dir, name).is_ok() => {
+                    // First extra link anchors the inode so it stays
+                    // locatable without a path (§4.5).
+                    if !self.anchors.contains(*target) {
+                        self.anchors.anchor(&self.ns, *target);
+                    }
+                    touched.push(*target);
+                    touched.push(*dir);
+                }
+            Op::Rename { dir, name, new_name } => {
+                if let Ok(id) = self.ns.rename(*dir, name, *dir, new_name) {
+                    if self.ns.is_dir(id) {
+                        self.anchors.on_rename(&self.ns, id);
+                        if let Some(lh) = self.partition.as_lazy_mut() {
+                            lh.on_dir_move(id);
+                        }
+                        self.invalidate_replicas(id);
+                    }
+                    touched.push(*dir);
+                    touched.push(id);
+                }
+            }
+            Op::Chmod { target, mode }
+                if self.ns.chmod(*target, *mode).is_ok() => {
+                    if self.ns.is_dir(*target) {
+                        if let Some(lh) = self.partition.as_lazy_mut() {
+                            lh.on_dir_permission_change(*target);
+                        }
+                        self.invalidate_replicas(*target);
+                    }
+                    touched.push(*target);
+                }
+            _ => {}
+        }
+
+        if touched.is_empty() {
+            return now; // failed op: error reply, nothing committed
+        }
+
+        // Tier-1 commit: journal append on this node's journal device; the
+        // reply waits for it ("all metadata transactions must be quickly
+        // written to stable storage", §4.6).
+        let mut writebacks = Vec::new();
+        for &id in &touched {
+            writebacks.extend(self.nodes[i].journal.append(id));
+        }
+        let jdone = self.nodes[i]
+            .journal_disk
+            .access(now, dynmds_storage::AccessKind::Write);
+        // Retired entries stream to tier 2 asynchronously (don't block the
+        // reply, do consume pool throughput).
+        for wb in writebacks {
+            self.store.writeback(now, &self.ns, wb);
+        }
+        jdone
+    }
+
+    /// Coherence callbacks for an updated item that other nodes replicate:
+    /// the authority notifies every replica (§4.2). Counted; the replica
+    /// entries stay cached (callback-updated, not discarded).
+    fn invalidate_replicas(&mut self, id: InodeId) {
+        for n in &mut self.nodes {
+            if n.cache.peek(id) {
+                n.life.invalidations += 1;
+            }
+        }
+    }
+
+    /// Grows/shrinks the set of entry-hashed directories (§4.3: "as
+    /// directories grow or become popular it may become appropriate to
+    /// hash them…").
+    fn update_dir_hashing(&mut self, target: InodeId) {
+        let dir = if self.ns.is_dir(target) {
+            target
+        } else {
+            match self.ns.parent(target) {
+                Ok(Some(p)) => p,
+                _ => return,
+            }
+        };
+        let count = self.ns.child_count(dir).unwrap_or(0);
+        let threshold = self.cfg.dir_hash_threshold;
+        if count > threshold {
+            self.hashed_dirs.insert(dir);
+        } else if count < threshold / 2 {
+            self.hashed_dirs.remove(&dir);
+        }
+    }
+
+    /// Completes a request: schedules the reply and teaches the client
+    /// where this part of the hierarchy lives.
+    fn finish(
+        &mut self,
+        _now: SimTime,
+        mds: MdsId,
+        req: Request,
+        reply_at: SimTime,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
+        let target = req.op.target();
+        if self.cfg.strategy.is_subtree() {
+            if self.replicated.contains(&target) {
+                self.clients.learn(req.client, target, KnownLocation::Everywhere);
+            } else if self.ns.is_alive(target) {
+                if let Some(sub) = self.partition.as_subtree() {
+                    let root = sub.subtree_root_of(&self.ns, target);
+                    self.clients
+                        .learn(req.client, root, KnownLocation::Single(self.authority_of(target)));
+                }
+            }
+            let _ = mds;
+        }
+        let arrive = reply_at + self.cfg.costs.net_hop;
+        // Attribute-read replies piggyback a lease (§4.2).
+        if self.cfg.client_leases && !req.op.is_update() && self.ns.is_alive(target) {
+            self.clients
+                .grant_lease(req.client, target, arrive + self.cfg.lease_ttl);
+        }
+        self.latency
+            .record(arrive.saturating_since(req.issued_at).as_secs_f64());
+        queue.schedule(arrive, SimEvent::Reply { client: req.client });
+    }
+
+    fn on_sample(&mut self, now: SimTime, queue: &mut EventQueue<SimEvent>) {
+        for (i, n) in self.nodes.iter_mut().enumerate() {
+            let w = n.take_window();
+            self.served_series[i].push(now, w.served as f64);
+            self.forwarded_series[i].push(now, w.forwarded as f64);
+            self.received_series[i].push(now, w.received as f64);
+        }
+        queue.schedule(now + self.cfg.sample_every, SimEvent::Sample);
+    }
+}
+
+impl Handler<SimEvent> for Cluster {
+    fn handle(&mut self, now: SimTime, event: SimEvent, queue: &mut EventQueue<SimEvent>) {
+        match event {
+            SimEvent::Issue(client) => self.on_issue(now, client, queue),
+            SimEvent::Arrive { mds, req } => self.on_arrive(now, mds, req, queue),
+            SimEvent::Reply { client } => {
+                let think_us = self
+                    .rng
+                    .exponential(self.cfg.costs.think_mean.as_micros() as f64)
+                    as u64;
+                queue.schedule(now + SimDuration::from_micros(think_us), SimEvent::Issue(client));
+            }
+            SimEvent::Heartbeat => {
+                self.heartbeat(now);
+                queue.schedule(now + self.cfg.heartbeat, SimEvent::Heartbeat);
+            }
+            SimEvent::Sample => self.on_sample(now, queue),
+            SimEvent::Fail(mds) => self.fail_node(now, mds),
+            SimEvent::Recover(mds) => self.recover_node(now, mds),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dynmds_event::{EventQueue, Handler, SimTime};
+    use dynmds_namespace::{ClientId, MdsId};
+    use dynmds_partition::StrategyKind;
+    use dynmds_workload::Op;
+
+    use crate::request::{Request, SimEvent};
+    use crate::testutil::tiny_cluster;
+
+    fn request(op: Op) -> Request {
+        Request { client: ClientId(0), uid: 1, op, issued_at: SimTime::from_millis(1), hops: 0 }
+    }
+
+    #[test]
+    fn wrong_node_forwards_to_authority() {
+        let mut c = tiny_cluster(StrategyKind::DynamicSubtree);
+        let file = c.ns.walk(c.ns.root()).find(|&i| !c.ns.is_dir(i)).unwrap();
+        let auth = c.authority_of(file);
+        let wrong = MdsId((auth.0 + 1) % 4);
+        let mut q: EventQueue<SimEvent> = EventQueue::new();
+        c.handle(
+            SimTime::from_millis(1),
+            SimEvent::Arrive { mds: wrong, req: request(Op::Stat(file)) },
+            &mut q,
+        );
+        assert_eq!(c.nodes[wrong.index()].life.forwarded, 1);
+        assert_eq!(c.nodes[wrong.index()].life.served, 0);
+        // The forwarded copy is queued for the authority.
+        let ev = q.pop().expect("forwarded event");
+        match ev.event {
+            SimEvent::Arrive { mds, req } => {
+                assert_eq!(mds, auth);
+                assert_eq!(req.hops, 1);
+            }
+            other => panic!("expected Arrive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn authority_serves_and_replies() {
+        let mut c = tiny_cluster(StrategyKind::DynamicSubtree);
+        let file = c.ns.walk(c.ns.root()).find(|&i| !c.ns.is_dir(i)).unwrap();
+        let auth = c.authority_of(file);
+        let mut q: EventQueue<SimEvent> = EventQueue::new();
+        c.handle(
+            SimTime::from_millis(1),
+            SimEvent::Arrive { mds: auth, req: request(Op::Stat(file)) },
+            &mut q,
+        );
+        assert_eq!(c.nodes[auth.index()].life.served, 1);
+        assert!(c.nodes[auth.index()].cache.peek(file), "target cached after serve");
+        // Prefix chain cached and pinned.
+        for anc in c.ns.ancestors(file) {
+            assert!(c.nodes[auth.index()].cache.peek(anc), "prefix {anc} cached");
+        }
+        // Reply scheduled; the client learned a route for the subtree.
+        let ev = q.pop().expect("reply event");
+        assert!(matches!(ev.event, SimEvent::Reply { client } if client == ClientId(0)));
+        let sub = c.partition.as_subtree().unwrap();
+        let root = sub.subtree_root_of(&c.ns, file);
+        assert!(c.clients.knows(ClientId(0), root), "route learned from the reply");
+    }
+
+    #[test]
+    fn stale_target_gets_cheap_reply() {
+        let mut c = tiny_cluster(StrategyKind::DynamicSubtree);
+        let file = c.ns.walk(c.ns.root()).find(|&i| !c.ns.is_dir(i)).unwrap();
+        let parent = c.ns.parent(file).unwrap().unwrap();
+        let name = c.ns.name(file).unwrap().to_string();
+        c.ns.unlink(parent, &name).unwrap();
+        let mut q: EventQueue<SimEvent> = EventQueue::new();
+        c.handle(
+            SimTime::from_millis(1),
+            SimEvent::Arrive { mds: MdsId(0), req: request(Op::Stat(file)) },
+            &mut q,
+        );
+        assert_eq!(c.nodes[0].life.served, 0, "ESTALE is not a served op");
+        assert_eq!(c.nodes[0].life.forwarded, 0);
+        assert_eq!(c.nodes[0].life.received, 1);
+        assert!(matches!(q.pop().unwrap().event, SimEvent::Reply { .. }));
+    }
+
+    #[test]
+    fn create_lands_in_namespace_and_journal() {
+        let mut c = tiny_cluster(StrategyKind::DynamicSubtree);
+        let dir = c.ns.resolve("/home/user0000").unwrap();
+        let auth = c.authority_of(dir);
+        let before = c.ns.total_items();
+        let mut q: EventQueue<SimEvent> = EventQueue::new();
+        c.handle(
+            SimTime::from_millis(1),
+            SimEvent::Arrive {
+                mds: auth,
+                req: request(Op::Create { dir, name: "newfile".into() }),
+            },
+            &mut q,
+        );
+        assert_eq!(c.ns.total_items(), before + 1);
+        let id = c.ns.lookup(dir, "newfile").unwrap();
+        assert!(c.nodes[auth.index()].cache.peek(id), "new inode cached at creator");
+        assert!(c.nodes[auth.index()].journal.contains(id), "journaled");
+    }
+
+    #[test]
+    fn lazy_hybrid_serve_applies_pending_updates() {
+        let mut c = tiny_cluster(StrategyKind::LazyHybrid);
+        let file = c.ns.walk(c.ns.root()).find(|&i| !c.ns.is_dir(i)).unwrap();
+        let parent = c.ns.parent(file).unwrap().unwrap();
+        c.partition.as_lazy_mut().unwrap().on_dir_permission_change(parent);
+        let auth = c.authority_of(file);
+        let mut q: EventQueue<SimEvent> = EventQueue::new();
+        c.handle(
+            SimTime::from_millis(1),
+            SimEvent::Arrive { mds: auth, req: request(Op::Stat(file)) },
+            &mut q,
+        );
+        let lh = c.partition.as_lazy().unwrap();
+        assert_eq!(lh.lifetime_stats().permission_updates, 1, "pending ACL applied on access");
+        assert_eq!(lh.pending_for(&c.ns, file).total(), 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Events flowing through the simulation engine.
+
+use dynmds_event::SimTime;
+use dynmds_namespace::{ClientId, MdsId};
+use dynmds_workload::Op;
+
+/// One in-flight client request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Issuing client.
+    pub client: ClientId,
+    /// Credential the permission checks run against.
+    pub uid: u32,
+    /// The metadata operation.
+    pub op: Op,
+    /// When the client sent it (for latency accounting).
+    pub issued_at: SimTime,
+    /// How many times it has been forwarded within the cluster.
+    pub hops: u8,
+}
+
+/// The simulator's event alphabet.
+#[derive(Clone, Debug)]
+pub enum SimEvent {
+    /// A client wakes up, generates its next op, and sends it.
+    Issue(ClientId),
+    /// A request arrives at an MDS (after network latency).
+    Arrive {
+        /// Receiving server.
+        mds: MdsId,
+        /// The request.
+        req: Request,
+    },
+    /// A reply reaches its client; the client will think, then issue.
+    Reply {
+        /// The client.
+        client: ClientId,
+    },
+    /// Load-balancer heartbeat (§4.3).
+    Heartbeat,
+    /// Metrics sampling tick.
+    Sample,
+    /// Fault injection: the node dies (§2.1.2).
+    Fail(MdsId),
+    /// Fault injection: the node comes back and warms its cache from its
+    /// journal (§4.6).
+    Recover(MdsId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynmds_namespace::InodeId;
+
+    #[test]
+    fn request_carries_context() {
+        let r = Request {
+            client: ClientId(3),
+            uid: 4,
+            op: Op::Stat(InodeId(9)),
+            issued_at: SimTime::from_micros(12),
+            hops: 0,
+        };
+        assert_eq!(r.op.target(), InodeId(9));
+        assert_eq!(r.client, ClientId(3));
+    }
+}

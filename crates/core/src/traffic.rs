@@ -1,0 +1,184 @@
+//! Traffic control for flash crowds (§4.4).
+//!
+//! The authority watches decayed popularity counters; when an item's
+//! counter crosses the replication threshold, the item (and the prefix
+//! chain needed to reach it) is pushed to every node, and replies start
+//! advertising "this lives everywhere". Because clients route by deepest
+//! known prefix, the cluster "can effectively bound the number of nodes
+//! believing any particular file … is located in any one place".
+//!
+//! Items that cool back down are de-replicated during the heartbeat
+//! sweep, returning routing to the single authority.
+
+use dynmds_cache::InsertKind;
+use dynmds_event::SimTime;
+use dynmds_namespace::InodeId;
+
+use crate::cluster::Cluster;
+
+impl Cluster {
+    /// Pushes `target` (plus prefixes) into every node's cache and marks
+    /// it replicated. Each receiving node pays a small message-handling
+    /// cost.
+    pub(crate) fn replicate_everywhere(&mut self, now: SimTime, target: InodeId) {
+        let mut chain: Vec<InodeId> = self.ns.ancestors(target).collect();
+        chain.reverse();
+        chain.push(target);
+        let msg_cost = self.cfg.costs.cpu_forward;
+        for j in 0..self.nodes.len() {
+            if !self.alive[j] {
+                continue;
+            }
+            for &id in &chain {
+                if self.nodes[j].cache.peek(id) {
+                    continue;
+                }
+                let parent = self
+                    .ns
+                    .parent(id)
+                    .ok()
+                    .flatten()
+                    .filter(|p| self.nodes[j].cache.peek(*p));
+                let kind = if id == target { InsertKind::Target } else { InsertKind::Prefix };
+                self.nodes[j].cache.insert(id, parent, kind);
+            }
+            self.nodes[j].occupy(now, msg_cost);
+        }
+        self.replicated.insert(target);
+    }
+
+    /// Heartbeat push of replica-absorbed write deltas to the authorities
+    /// ("replicas serving concurrent writers can periodically send their
+    /// most recent value to the authority", §4.2). One message per dirty
+    /// (node, item) pair.
+    pub(crate) fn flush_shared_writes(&mut self, now: SimTime) {
+        if self.dirty_shared.is_empty() {
+            return;
+        }
+        let mut dirty: Vec<InodeId> = self.dirty_shared.iter().copied().collect();
+        dirty.sort();
+        let msg = self.cfg.costs.cpu_forward;
+        for id in dirty {
+            let auth = self.live_authority(self.authority_of(id));
+            let contributors = self.gather_shared_writes(id);
+            if contributors > 0 {
+                let cost = msg.saturating_mul(contributors as u64);
+                self.nodes[auth.index()].occupy(now, cost);
+            }
+        }
+    }
+
+    /// De-replicates items whose popularity at their authority has decayed
+    /// well below the threshold.
+    pub(crate) fn traffic_sweep(&mut self, now: SimTime) {
+        if self.replicated.is_empty() {
+            return;
+        }
+        let cutoff = self.cfg.replication_threshold * 0.25;
+        let cooled: Vec<InodeId> = self
+            .replicated
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let auth = self.live_authority(self.authority_of(id));
+                let node = &self.nodes[auth.index()];
+                let pop = node.popularity.value(now, id);
+                if pop < cutoff {
+                    return true; // cold
+                }
+                // Write-hot items de-replicate unless shared writes make
+                // replica-side absorption profitable (files only).
+                let write_hot = node.update_popularity.value(now, id) > 0.25 * pop;
+                let absorbable = self.cfg.shared_writes && !self.ns.is_dir(id);
+                write_hot && !absorbable
+            })
+            .collect();
+        for id in cooled {
+            self.replicated.remove(&id);
+        }
+    }
+
+    /// Whether `id` is currently replicated cluster-wide (test/inspection
+    /// hook).
+    pub fn is_replicated(&self, id: InodeId) -> bool {
+        self.replicated.contains(&id)
+    }
+
+    /// Number of items currently replicated cluster-wide.
+    pub fn replicated_count(&self) -> usize {
+        self.replicated.len()
+    }
+
+    /// Whether directory `id` is currently hashed entry-wise across the
+    /// cluster (test/inspection hook).
+    pub fn is_dir_hashed(&self, id: InodeId) -> bool {
+        self.hashed_dirs.contains(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dynmds_event::SimTime;
+    use dynmds_partition::StrategyKind;
+
+    use crate::testutil::tiny_cluster;
+
+    #[test]
+    fn replicate_everywhere_installs_item_and_prefixes_on_all_live_nodes() {
+        let mut c = tiny_cluster(StrategyKind::DynamicSubtree);
+        let file = c.ns.resolve("/home").map(|h| c.ns.walk(h).find(|&i| !c.ns.is_dir(i)).expect("a file")).unwrap();
+        c.replicate_everywhere(SimTime::from_secs(1), file);
+        assert!(c.is_replicated(file));
+        assert_eq!(c.replicated_count(), 1);
+        for node in &c.nodes {
+            assert!(node.cache.peek(file), "{} missing the replica", node.id);
+            // The whole prefix chain is present so the replica can serve
+            // path traversal locally.
+            for anc in c.ns.ancestors(file) {
+                assert!(node.cache.peek(anc), "{} missing prefix {anc}", node.id);
+            }
+            node.cache.check_integrity();
+        }
+    }
+
+    #[test]
+    fn sweep_dereplicates_cold_items() {
+        let mut c = tiny_cluster(StrategyKind::DynamicSubtree);
+        let file = c.ns.walk(c.ns.root()).find(|&i| !c.ns.is_dir(i)).unwrap();
+        // Make it hot at its authority, replicate, then let it cool.
+        let auth = c.authority_of(file);
+        for _ in 0..100 {
+            c.nodes[auth.index()].popularity.record(SimTime::from_secs(1), file);
+        }
+        c.replicate_everywhere(SimTime::from_secs(1), file);
+        c.traffic_sweep(SimTime::from_secs(2));
+        assert!(c.is_replicated(file), "still hot: stays replicated");
+        // Popularity half-life is 10 s; after 200 s it is ~0.
+        c.traffic_sweep(SimTime::from_secs(200));
+        assert!(!c.is_replicated(file), "cooled: de-replicated");
+    }
+
+    #[test]
+    fn sweep_dereplicates_write_hot_items() {
+        let mut c = tiny_cluster(StrategyKind::DynamicSubtree);
+        let file = c.ns.walk(c.ns.root()).find(|&i| !c.ns.is_dir(i)).unwrap();
+        let auth = c.authority_of(file);
+        for _ in 0..100 {
+            c.nodes[auth.index()].popularity.record(SimTime::from_secs(1), file);
+        }
+        c.replicate_everywhere(SimTime::from_secs(1), file);
+        // Writes take over.
+        for _ in 0..50 {
+            c.nodes[auth.index()].update_popularity.record(SimTime::from_secs(2), file);
+        }
+        c.traffic_sweep(SimTime::from_secs(2));
+        assert!(!c.is_replicated(file), "write-hot items must not stay replicated");
+    }
+
+    #[test]
+    fn sweep_with_nothing_replicated_is_cheap_noop() {
+        let mut c = tiny_cluster(StrategyKind::DynamicSubtree);
+        c.traffic_sweep(SimTime::from_secs(5));
+        assert_eq!(c.replicated_count(), 0);
+    }
+}

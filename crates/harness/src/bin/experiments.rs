@@ -1,0 +1,214 @@
+//! CLI regenerating the paper's evaluation figures.
+//!
+//! ```text
+//! experiments [--quick] [--csv DIR] <SUBCOMMAND>
+//! ```
+//!
+//! Subcommands: `fig2` `fig3` `fig4` `fig5` `fig6` `fig7` (the paper's
+//! figures), `sci` (the §5.2 scientific workload), `ablate-prefetch`
+//! `ablate-balance` `ablate-dirhash` `ablate-warming` `ablate-leases`
+//! `ablate-shared-writes` `ablate-probation` (design-choice ablations),
+//! or `all`.
+//!
+//! Each subcommand prints the figure's data as an aligned table; `--csv`
+//! additionally writes machine-readable CSVs.
+
+use std::io::Write as _;
+
+use dynmds_event::SimDuration;
+use dynmds_harness::{ablation, flashrun, hitrate, scaling, scirun, shiftrun, ExperimentScale};
+use dynmds_metrics::Table;
+
+struct Args {
+    scale: ExperimentScale,
+    csv_dir: Option<String>,
+    command: String,
+}
+
+fn parse_args() -> Args {
+    let mut scale = ExperimentScale::Full;
+    let mut csv_dir = None;
+    let mut command = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => scale = ExperimentScale::Quick,
+            "--csv" => csv_dir = Some(it.next().unwrap_or_else(|| usage("missing --csv DIR"))),
+            "-h" | "--help" => usage(""),
+            other if !other.starts_with('-') && command.is_none() => command = Some(other.to_string()),
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    Args { scale, csv_dir, command: command.unwrap_or_else(|| "all".to_string()) }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: experiments [--quick] [--csv DIR] \
+         <fig2|fig3|fig4|fig5|fig6|fig7|sci|ablate-prefetch|ablate-balance|ablate-dirhash|ablate-warming|ablate-leases|ablate-shared-writes|ablate-probation|all>"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn emit(args: &Args, name: &str, table: &Table) {
+    println!("{}", table.render());
+    if let Some(dir) = &args.csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let path = format!("{dir}/{name}.csv");
+        let mut f = std::fs::File::create(&path).expect("create csv");
+        f.write_all(table.to_csv().as_bytes()).expect("write csv");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = args.scale;
+    let series_bin = match scale {
+        ExperimentScale::Quick => SimDuration::from_secs(1),
+        ExperimentScale::Full => SimDuration::from_secs(2),
+    };
+
+    let want = |name: &str| args.command == name || args.command == "all";
+
+    if want("fig2") || want("fig3") {
+        eprintln!("running scaling sweep (figures 2 and 3)...");
+        let points = scaling::run_scaling(scale);
+        if want("fig2") {
+            emit(&args, "fig2", &scaling::fig2_table(&points));
+        }
+        if want("fig3") {
+            emit(&args, "fig3", &scaling::fig3_table(&points));
+        }
+        emit(&args, "scaling_detail", &scaling::context_table(&points));
+    }
+
+    if want("fig4") {
+        eprintln!("running cache-size sweep (figure 4)...");
+        let points = hitrate::run_hitrate(scale);
+        emit(&args, "fig4", &hitrate::fig4_table(&points));
+    }
+
+    if want("fig5") || want("fig6") {
+        eprintln!("running workload-shift comparison (figures 5 and 6)...");
+        let r = shiftrun::run_shift(scale);
+        if want("fig5") {
+            emit(&args, "fig5", &shiftrun::fig5_table(&r, series_bin));
+        }
+        if want("fig6") {
+            emit(&args, "fig6", &shiftrun::fig6_table(&r, series_bin));
+        }
+        let s = shiftrun::shift_summary(&r);
+        println!(
+            "post-shift mean per-MDS throughput: dynamic {:.0} ops/s vs static {:.0} ops/s",
+            s.dyn_after, s.sta_after
+        );
+        println!(
+            "post-shift per-node spread (max-min): dynamic {:.0} vs static {:.0}\n",
+            s.dyn_spread, s.sta_spread
+        );
+    }
+
+    if want("fig7") {
+        eprintln!("running flash crowd (figure 7)...");
+        let r = flashrun::run_flash(scale);
+        let bin = SimDuration::from_millis(50);
+        emit(&args, "fig7", &flashrun::fig7_table(&r, bin));
+        let s = flashrun::flash_summary(&r, scale);
+        println!(
+            "time to serve 95% of the crowd: with TC {:.3}s, without TC {:.3}s",
+            s.tc_t95, s.notc_t95
+        );
+        println!(
+            "total forwards: with TC {}, without TC {}\n",
+            s.tc_forwards, s.notc_forwards
+        );
+    }
+
+    if want("sci") {
+        eprintln!("running scientific-burst workload comparison...");
+        let pts = scirun::run_sci(scale);
+        emit(&args, "sci", &scirun::sci_table(&pts));
+    }
+
+    if want("ablate-prefetch") {
+        eprintln!("running prefetch ablation (Table A)...");
+        let pts = ablation::run_ablate_prefetch(scale);
+        emit(
+            &args,
+            "ablate_prefetch",
+            &ablation::ablation_table("Table A: embedded-inode directory prefetch", &pts),
+        );
+    }
+
+    if want("ablate-balance") {
+        eprintln!("running balancing ablation (Table B)...");
+        let pts = ablation::run_ablate_balance(scale);
+        emit(
+            &args,
+            "ablate_balance",
+            &ablation::ablation_table("Table B: load balancing vs total throughput", &pts),
+        );
+    }
+
+    if want("ablate-dirhash") {
+        eprintln!("running huge-directory hashing ablation (Table C)...");
+        let pts = ablation::run_ablate_dir_hash(scale);
+        emit(
+            &args,
+            "ablate_dirhash",
+            &ablation::ablation_table(
+                "Table C: entry-wise hashing of one huge hot directory",
+                &pts,
+            ),
+        );
+    }
+
+    if want("ablate-leases") {
+        eprintln!("running client-lease ablation (Table E)...");
+        let pts = ablation::run_ablate_leases(scale);
+        emit(&args, "ablate_leases", &ablation::lease_table(&pts));
+    }
+
+    if want("ablate-probation") {
+        eprintln!("running prefetch-insertion ablation (Table G)...");
+        let pts = ablation::run_ablate_probation(scale);
+        emit(
+            &args,
+            "ablate_probation",
+            &ablation::ablation_table(
+                "Table G: near-tail vs MRU insertion of prefetched metadata",
+                &pts,
+            ),
+        );
+    }
+
+    if want("ablate-shared-writes") {
+        eprintln!("running shared-writes ablation (Table F)...");
+        let pts = ablation::run_ablate_shared_writes(scale);
+        emit(
+            &args,
+            "ablate_shared_writes",
+            &ablation::ablation_table(
+                "Table F: GPFS-style shared writes under an N-to-1 write crowd",
+                &pts,
+            ),
+        );
+    }
+
+    if want("ablate-warming") {
+        eprintln!("running journal cache-warming ablation (Table D)...");
+        let pts = ablation::run_ablate_journal_warming(scale);
+        emit(
+            &args,
+            "ablate_warming",
+            &ablation::ablation_table(
+                "Table D: journal cache warming on failover (post-failure window)",
+                &pts,
+            ),
+        );
+    }
+}

@@ -1,0 +1,249 @@
+//! General-purpose simulation driver: run any strategy/feature
+//! combination from the command line and get a full report.
+//!
+//! ```text
+//! simulate [flags]
+//!   --strategy  static|dynamic|dirhash|filehash|lazyhybrid   (dynamic)
+//!   --mds N             servers                               (8)
+//!   --clients N         clients                               (80)
+//!   --items N           metadata items in the snapshot        (32000)
+//!   --cache N           per-MDS cache capacity, inodes        (1200)
+//!   --osds N            OSD pool size                         (16)
+//!   --seconds N         measured virtual seconds              (20)
+//!   --warmup N          warm-up virtual seconds               (8)
+//!   --seed N            RNG seed                              (7)
+//!   --workload general|scientific                             (general)
+//!   --leases            enable client metadata leases
+//!   --shared-writes     enable GPFS-style shared writes
+//!   --no-balancing      disable the load balancer
+//!   --no-traffic-control  disable flash-crowd replication
+//!   --dir-hash N        hash directories beyond N entries
+//!   --fail MDS@SECS     kill a node mid-run (repeatable)
+//!   --recover MDS@SECS  bring a node back (repeatable)
+//! ```
+
+use dynmds_core::{SimConfig, Simulation};
+use dynmds_event::{SimDuration, SimTime};
+use dynmds_metrics::Table;
+use dynmds_namespace::{MdsId, NamespaceSpec};
+use dynmds_partition::StrategyKind;
+use dynmds_workload::{GeneralWorkload, ScientificWorkload, Workload, WorkloadConfig};
+
+struct Args {
+    strategy: StrategyKind,
+    n_mds: u16,
+    n_clients: u32,
+    items: u64,
+    cache: usize,
+    osds: usize,
+    seconds: u64,
+    warmup: u64,
+    seed: u64,
+    workload: String,
+    leases: bool,
+    shared_writes: bool,
+    no_balancing: bool,
+    no_traffic_control: bool,
+    dir_hash: usize,
+    faults: Vec<(u16, u64, bool)>, // (mds, secs, is_recovery)
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("see `simulate --help` header comment in the source for flags");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn parse_fault(v: &str) -> (u16, u64) {
+    let (m, s) = v
+        .split_once('@')
+        .unwrap_or_else(|| usage(&format!("bad fault spec {v}; want MDS@SECS")));
+    (
+        m.parse().unwrap_or_else(|_| usage("bad MDS index")),
+        s.parse().unwrap_or_else(|_| usage("bad fault time")),
+    )
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        strategy: StrategyKind::DynamicSubtree,
+        n_mds: 8,
+        n_clients: 80,
+        items: 32_000,
+        cache: 1_200,
+        osds: 16,
+        seconds: 20,
+        warmup: 8,
+        seed: 7,
+        workload: "general".into(),
+        leases: false,
+        shared_writes: false,
+        no_balancing: false,
+        no_traffic_control: false,
+        dir_hash: 0,
+        faults: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    let next = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next().unwrap_or_else(|| usage(&format!("missing value for {flag}")))
+    };
+    while let Some(f) = it.next() {
+        match f.as_str() {
+            "--strategy" => {
+                a.strategy = match next(&mut it, &f).as_str() {
+                    "static" => StrategyKind::StaticSubtree,
+                    "dynamic" => StrategyKind::DynamicSubtree,
+                    "dirhash" => StrategyKind::DirHash,
+                    "filehash" => StrategyKind::FileHash,
+                    "lazyhybrid" => StrategyKind::LazyHybrid,
+                    other => usage(&format!("unknown strategy {other}")),
+                }
+            }
+            "--mds" => a.n_mds = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --mds")),
+            "--clients" => a.n_clients = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --clients")),
+            "--items" => a.items = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --items")),
+            "--cache" => a.cache = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --cache")),
+            "--osds" => a.osds = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --osds")),
+            "--seconds" => a.seconds = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --seconds")),
+            "--warmup" => a.warmup = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --warmup")),
+            "--seed" => a.seed = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --seed")),
+            "--workload" => a.workload = next(&mut it, &f),
+            "--leases" => a.leases = true,
+            "--shared-writes" => a.shared_writes = true,
+            "--no-balancing" => a.no_balancing = true,
+            "--no-traffic-control" => a.no_traffic_control = true,
+            "--dir-hash" => a.dir_hash = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --dir-hash")),
+            "--fail" => {
+                let (m, s) = parse_fault(&next(&mut it, &f));
+                a.faults.push((m, s, false));
+            }
+            "--recover" => {
+                let (m, s) = parse_fault(&next(&mut it, &f));
+                a.faults.push((m, s, true));
+            }
+            "-h" | "--help" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    a
+}
+
+fn main() {
+    let a = parse_args();
+    let mut cfg = SimConfig::small(a.strategy);
+    cfg.n_mds = a.n_mds;
+    cfg.n_clients = a.n_clients;
+    cfg.cache_capacity = a.cache;
+    cfg.journal_capacity = a.cache * 4;
+    cfg.n_osds = a.osds;
+    cfg.seed = a.seed;
+    cfg.client_leases = a.leases;
+    cfg.shared_writes = a.shared_writes;
+    cfg.dir_hash_threshold = a.dir_hash;
+    if a.no_balancing {
+        cfg.balancing = false;
+    }
+    if a.no_traffic_control {
+        cfg.traffic_control = false;
+    }
+
+    let snapshot = NamespaceSpec::with_target_items(a.n_clients as usize, a.items, a.seed ^ 0xF5)
+        .generate();
+    let stats = snapshot.stats();
+    println!(
+        "snapshot: {} items ({} dirs, max depth {}); cluster: {} × {}-inode caches; {} clients\n",
+        stats.total, stats.dirs, stats.max_depth, a.n_mds, a.cache, a.n_clients
+    );
+
+    let workload: Box<dyn Workload> = match a.workload.as_str() {
+        "general" => Box::new(GeneralWorkload::new(
+            WorkloadConfig { seed: a.seed ^ 0x17, ..Default::default() },
+            a.n_clients as usize,
+            &snapshot.user_homes,
+            &snapshot.shared_roots,
+            &snapshot.ns,
+        )),
+        "scientific" => {
+            let shared_dirs: Vec<_> = snapshot
+                .shared_roots
+                .iter()
+                .flat_map(|&r| snapshot.ns.walk(r).filter(|&i| snapshot.ns.is_dir(i)).take(4))
+                .collect();
+            Box::new(ScientificWorkload::new(
+                a.seed ^ 0x17,
+                a.n_clients as usize,
+                &snapshot.user_homes,
+                &shared_dirs,
+                SimDuration::from_secs(8),
+                SimDuration::from_secs(2),
+            ))
+        }
+        other => usage(&format!("unknown workload {other}")),
+    };
+
+    let mut sim = Simulation::new(cfg, snapshot, workload);
+    for &(m, s, recovery) in &a.faults {
+        if recovery {
+            sim.schedule_recovery(SimTime::from_secs(s), MdsId(m));
+        } else {
+            sim.schedule_failure(SimTime::from_secs(s), MdsId(m));
+        }
+    }
+    sim.run_until(SimTime::from_secs(a.warmup));
+    sim.cluster_mut().reset_measurement(SimTime::from_secs(a.warmup));
+    sim.run_until(SimTime::from_secs(a.warmup + a.seconds));
+
+    let migrations = sim.cluster().migrations;
+    let lease_hits = sim.cluster().clients.lease_hits();
+    let absorbed = sim.cluster().shared_write_absorbed;
+    let timeouts = sim.cluster().failover_timeouts;
+    let report = sim.finish();
+
+    println!("== results over {:.0} measured seconds ==", report.span_secs());
+    println!("per-MDS throughput : {:.0} ops/s", report.avg_mds_throughput());
+    println!("cache hit rate     : {:.1} %", report.overall_hit_rate() * 100.0);
+    println!("prefix cache share : {:.1} %", report.mean_prefix_pct());
+    println!(
+        "forwarded requests : {:.2} %",
+        100.0 * report.total_forwarded() as f64 / report.total_received().max(1) as f64
+    );
+    println!(
+        "latency mean/p50/p99: {:.2} / {:.2} / {:.2} ms",
+        report.latency.mean().unwrap_or(0.0) * 1e3,
+        report.latency.median().unwrap_or(0.0) * 1e3,
+        report.latency.quantile(0.99).unwrap_or(0.0) * 1e3,
+    );
+    if migrations > 0 {
+        println!("subtree migrations : {migrations}");
+    }
+    if lease_hits > 0 {
+        println!("lease-served reads : {lease_hits}");
+    }
+    if absorbed > 0 {
+        println!("shared writes absorbed: {absorbed}");
+    }
+    if timeouts > 0 {
+        println!("failover timeouts  : {timeouts}");
+    }
+
+    println!("\nlatency distribution:");
+    print!("{}", report.latency.histogram(0.0005, 8).render(40));
+
+    let mut t = Table::new(
+        "per-node detail",
+        &["node", "served", "fwd", "hit%", "prefix%", "cache"],
+    );
+    for (i, n) in report.nodes.iter().enumerate() {
+        t.row(&[
+            format!("mds{i}"),
+            n.served.to_string(),
+            n.forwarded.to_string(),
+            format!("{:.1}", n.hit_rate * 100.0),
+            format!("{:.1}", n.prefix_fraction * 100.0),
+            n.cache_len.to_string(),
+        ]);
+    }
+    println!("\n{}", t.render());
+}

@@ -1,0 +1,75 @@
+//! Figure 4: cache hit rate as a function of (relative) cache size.
+//!
+//! "Figure 4 shows how cache performance varies with the cache size,
+//! expressed as a fraction of the total size of the file system's
+//! metadata. For smaller caches, inefficient cache utilization due to
+//! replicated prefixes results in lower hit rates" (§5.3.1).
+
+use dynmds_metrics::Table;
+use dynmds_partition::StrategyKind;
+
+use crate::parallel::parallel_map;
+use crate::params::{run_steady, scaling_config, ExperimentScale};
+
+/// Cluster size used for the Figure 4 sweep (fixed; only cache varies).
+pub const FIG4_CLUSTER: u16 = 8;
+
+/// One (strategy, cache fraction) measurement.
+#[derive(Clone, Debug)]
+pub struct HitratePoint {
+    /// Strategy under test.
+    pub strategy: StrategyKind,
+    /// Aggregate cache size relative to total metadata size.
+    pub cache_frac: f64,
+    /// Cluster-wide cache hit rate.
+    pub hit_rate: f64,
+    /// Average per-MDS throughput (context).
+    pub throughput: f64,
+}
+
+/// Runs the sweep: every strategy × every cache fraction.
+pub fn run_hitrate(scale: ExperimentScale) -> Vec<HitratePoint> {
+    let fracs = scale.cache_fractions();
+    let total_items = scale.items_per_mds() * FIG4_CLUSTER as u64;
+    let configs: Vec<(StrategyKind, f64)> = StrategyKind::ALL
+        .iter()
+        .flat_map(|&s| fracs.iter().map(move |&f| (s, f)))
+        .collect();
+    parallel_map(&configs, |&(strategy, frac)| {
+        let mut cfg = scaling_config(strategy, FIG4_CLUSTER, scale);
+        cfg.cache_capacity =
+            ((total_items as f64 * frac / FIG4_CLUSTER as f64) as usize).max(64);
+        cfg.journal_capacity = cfg.cache_capacity;
+        let report = run_steady(cfg, scale);
+        HitratePoint {
+            strategy,
+            cache_frac: frac,
+            hit_rate: report.overall_hit_rate(),
+            throughput: report.avg_mds_throughput(),
+        }
+    })
+}
+
+/// Figure 4 table: rows = cache fraction, columns = strategy hit rate.
+pub fn fig4_table(points: &[HitratePoint]) -> Table {
+    let mut fracs: Vec<f64> = points.iter().map(|p| p.cache_frac).collect();
+    fracs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    fracs.dedup();
+    let mut headers: Vec<String> = vec!["cache_frac".to_string()];
+    headers.extend(StrategyKind::ALL.iter().map(|s| s.label().to_string()));
+    let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("Figure 4: cache hit rate vs cache size (fraction of total metadata)", &hrefs);
+    for f in fracs {
+        let mut row = vec![format!("{f:.3}")];
+        for s in StrategyKind::ALL {
+            let v = points
+                .iter()
+                .find(|p| p.strategy == s && (p.cache_frac - f).abs() < 1e-12)
+                .map(|p| format!("{:.3}", p.hit_rate))
+                .unwrap_or_else(|| "-".into());
+            row.push(v);
+        }
+        t.row(&row);
+    }
+    t
+}

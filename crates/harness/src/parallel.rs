@@ -1,0 +1,88 @@
+//! Order-preserving parallel map over independent simulation runs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Applies `f` to every item on a pool of worker threads, returning the
+/// results in input order. Each item runs exactly once; panics in workers
+/// propagate.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u64> = vec![];
+        let out: Vec<u64> = parallel_map(&items, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        let out = parallel_map(&[7u64], |&x| x + 1);
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn heavy_closure_runs_once_per_item() {
+        use std::sync::atomic::AtomicU64;
+        let calls = AtomicU64::new(0);
+        let items: Vec<u64> = (0..37).collect();
+        let out = parallel_map(&items, |&x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 37);
+        assert_eq!(calls.load(Ordering::Relaxed), 37);
+    }
+}

@@ -1,0 +1,143 @@
+//! Figures 2 and 3: performance and prefix-cache overhead as the whole
+//! system scales.
+//!
+//! "Initially, we evaluate the relative performance and scalability of the
+//! different metadata management strategies by fixing MDS memory and
+//! scaling the entire system: file system size, number of MDS servers, and
+//! client base" (§5.3). Both figures are projections of the same sweep:
+//! Figure 2 plots average per-MDS throughput, Figure 3 the share of cache
+//! memory devoted to prefix (ancestor-directory) inodes.
+
+use dynmds_metrics::Table;
+use dynmds_partition::StrategyKind;
+
+use crate::parallel::parallel_map;
+use crate::params::{run_steady, scaling_config, ExperimentScale};
+
+/// One (strategy, cluster size) measurement.
+#[derive(Clone, Debug)]
+pub struct ScalePoint {
+    /// Strategy under test.
+    pub strategy: StrategyKind,
+    /// Cluster size.
+    pub n_mds: u16,
+    /// Figure 2: average per-MDS throughput, ops/s.
+    pub throughput: f64,
+    /// Figure 3: mean % of cache holding prefix-only entries.
+    pub prefix_pct: f64,
+    /// Cache hit rate (context).
+    pub hit_rate: f64,
+    /// Forwarded fraction of received requests (context).
+    pub forward_frac: f64,
+    /// Mean client-observed latency, ms (context).
+    pub latency_ms: f64,
+    /// Disk fetches per served op (context).
+    pub fetches_per_op: f64,
+}
+
+/// Runs the full sweep: every strategy × every cluster size, in parallel.
+pub fn run_scaling(scale: ExperimentScale) -> Vec<ScalePoint> {
+    let sizes = scale.cluster_sizes();
+    let configs: Vec<(StrategyKind, u16)> = StrategyKind::ALL
+        .iter()
+        .flat_map(|&s| sizes.iter().map(move |&n| (s, n)))
+        .collect();
+    parallel_map(&configs, |&(strategy, n_mds)| {
+        let report = run_steady(scaling_config(strategy, n_mds, scale), scale);
+        let received = report.total_received();
+        ScalePoint {
+            strategy,
+            n_mds,
+            throughput: report.avg_mds_throughput(),
+            prefix_pct: report.mean_prefix_pct(),
+            hit_rate: report.overall_hit_rate(),
+            forward_frac: if received > 0 {
+                report.total_forwarded() as f64 / received as f64
+            } else {
+                0.0
+            },
+            latency_ms: report.latency.mean().unwrap_or(0.0) * 1e3,
+            fetches_per_op: {
+                let fetches: u64 = report.nodes.iter().map(|n| n.disk_fetches).sum();
+                fetches as f64 / report.total_served().max(1) as f64
+            },
+        }
+    })
+}
+
+/// Figure 2 table: rows = cluster size, columns = strategy throughput.
+pub fn fig2_table(points: &[ScalePoint]) -> Table {
+    let mut sizes: Vec<u16> = points.iter().map(|p| p.n_mds).collect();
+    sizes.sort();
+    sizes.dedup();
+    let mut headers: Vec<String> = vec!["mds".to_string()];
+    headers.extend(StrategyKind::ALL.iter().map(|s| s.label().to_string()));
+    let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("Figure 2: average MDS throughput (ops/sec) vs cluster size", &hrefs);
+    for n in sizes {
+        let mut row = vec![n.to_string()];
+        for s in StrategyKind::ALL {
+            let v = points
+                .iter()
+                .find(|p| p.strategy == s && p.n_mds == n)
+                .map(|p| format!("{:.0}", p.throughput))
+                .unwrap_or_else(|| "-".into());
+            row.push(v);
+        }
+        t.row(&row);
+    }
+    t
+}
+
+/// Figure 3 table: rows = cluster size, columns = prefix %, for the four
+/// strategies the paper plots (Lazy Hybrid does no path traversal, so the
+/// paper omits it).
+pub fn fig3_table(points: &[ScalePoint]) -> Table {
+    const FIG3: [StrategyKind; 4] = [
+        StrategyKind::DynamicSubtree,
+        StrategyKind::StaticSubtree,
+        StrategyKind::DirHash,
+        StrategyKind::FileHash,
+    ];
+    let mut sizes: Vec<u16> = points.iter().map(|p| p.n_mds).collect();
+    sizes.sort();
+    sizes.dedup();
+    let mut headers: Vec<String> = vec!["mds".to_string()];
+    headers.extend(FIG3.iter().map(|s| s.label().to_string()));
+    let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("Figure 3: % of cache consumed by prefix inodes vs cluster size", &hrefs);
+    for n in sizes {
+        let mut row = vec![n.to_string()];
+        for s in FIG3 {
+            let v = points
+                .iter()
+                .find(|p| p.strategy == s && p.n_mds == n)
+                .map(|p| format!("{:.1}", p.prefix_pct))
+                .unwrap_or_else(|| "-".into());
+            row.push(v);
+        }
+        t.row(&row);
+    }
+    t
+}
+
+/// Context table: hit rates, forwards and latency per point.
+pub fn context_table(points: &[ScalePoint]) -> Table {
+    let mut t = Table::new(
+        "Scaling sweep detail",
+        &["strategy", "mds", "ops/s", "hit%", "fwd%", "lat_ms", "prefix%", "fetch/op"],
+    );
+    for p in points {
+        t.row(&[
+            p.strategy.label().to_string(),
+            p.n_mds.to_string(),
+            format!("{:.0}", p.throughput),
+            format!("{:.1}", p.hit_rate * 100.0),
+            format!("{:.1}", p.forward_frac * 100.0),
+            format!("{:.2}", p.latency_ms),
+            format!("{:.1}", p.prefix_pct),
+            format!("{:.3}", p.fetches_per_op),
+        ]);
+    }
+    t
+}

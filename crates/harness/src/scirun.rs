@@ -1,0 +1,123 @@
+//! Scientific-computing workload comparison (§5.2).
+//!
+//! The LLNL analysis the paper builds on found "bursts of activity for
+//! which all the nodes access the same file or a set of files in the same
+//! directory" — "a more difficult challenge to metadata management than
+//! general purpose workloads". This experiment runs that workload
+//! (alternating same-file open bursts and same-directory create bursts,
+//! with independent read phases between) across all five strategies and
+//! reports throughput, burst-phase latency, and how concentrated the
+//! serving load was.
+
+use dynmds_core::{SimConfig, SimReport, Simulation};
+use dynmds_event::SimDuration;
+use dynmds_metrics::Table;
+use dynmds_namespace::{InodeId, NamespaceSpec, Snapshot};
+use dynmds_partition::StrategyKind;
+use dynmds_workload::ScientificWorkload;
+
+use crate::parallel::parallel_map;
+use crate::params::ExperimentScale;
+
+/// Cluster size for the scientific-workload experiment.
+pub const SCI_CLUSTER: u16 = 8;
+
+/// One strategy's results under the scientific workload.
+#[derive(Clone, Debug)]
+pub struct SciPoint {
+    /// Strategy under test.
+    pub strategy: StrategyKind,
+    /// Average per-MDS throughput, ops/s.
+    pub throughput: f64,
+    /// Mean client latency, ms.
+    pub latency_ms: f64,
+    /// 99th-percentile client latency, ms (burst tail).
+    pub latency_p99_ms: f64,
+    /// Share of all replies served by the busiest node.
+    pub peak_node_share: f64,
+}
+
+fn sci_snapshot(scale: ExperimentScale, seed: u64) -> (Snapshot, Vec<InodeId>) {
+    let users = match scale {
+        ExperimentScale::Quick => 24usize,
+        ExperimentScale::Full => 80,
+    };
+    let snap = NamespaceSpec {
+        users,
+        shared_trees: 6,
+        seed,
+        ..Default::default()
+    }
+    .generate();
+    // Burst targets: directories inside the shared project trees.
+    let mut shared_dirs = Vec::new();
+    for &root in &snap.shared_roots {
+        shared_dirs.extend(snap.ns.walk(root).filter(|&i| snap.ns.is_dir(i)).take(4));
+    }
+    (snap, shared_dirs)
+}
+
+fn run_one(strategy: StrategyKind, scale: ExperimentScale) -> SciPoint {
+    let mut cfg = SimConfig::small(strategy);
+    cfg.n_mds = SCI_CLUSTER;
+    cfg.n_clients = match scale {
+        ExperimentScale::Quick => 48,
+        ExperimentScale::Full => 160,
+    };
+    cfg.cache_capacity = 2_000;
+    cfg.journal_capacity = 4_000;
+    cfg.n_osds = SCI_CLUSTER as usize * 2;
+    cfg.traffic_control = strategy == StrategyKind::DynamicSubtree;
+    cfg.balancing = strategy == StrategyKind::DynamicSubtree;
+    cfg.replication_threshold = 48.0;
+    cfg.seed = 9_000;
+
+    let (snap, shared_dirs) = sci_snapshot(scale, cfg.seed ^ 0x5C1);
+    let regions: Vec<InodeId> = snap.user_homes.clone();
+    let wl = Box::new(ScientificWorkload::new(
+        cfg.seed ^ 0x17,
+        cfg.n_clients as usize,
+        &regions,
+        &shared_dirs,
+        SimDuration::from_secs(8),
+        SimDuration::from_secs(2),
+    ));
+    let sim = Simulation::new(cfg, snap, wl);
+    let report = sim.run_measured(scale.warmup(), scale.measure().saturating_mul(2));
+    summarize(strategy, &report)
+}
+
+fn summarize(strategy: StrategyKind, report: &SimReport) -> SciPoint {
+    let total = report.total_served().max(1);
+    let peak = report.nodes.iter().map(|n| n.served).max().unwrap_or(0);
+    SciPoint {
+        strategy,
+        throughput: report.avg_mds_throughput(),
+        latency_ms: report.latency.mean().unwrap_or(0.0) * 1e3,
+        latency_p99_ms: report.latency.quantile(0.99).unwrap_or(0.0) * 1e3,
+        peak_node_share: peak as f64 / total as f64,
+    }
+}
+
+/// Runs all strategies under the scientific workload.
+pub fn run_sci(scale: ExperimentScale) -> Vec<SciPoint> {
+    parallel_map(&StrategyKind::ALL, |&s| run_one(s, scale))
+}
+
+/// Renders the comparison table.
+pub fn sci_table(points: &[SciPoint]) -> Table {
+    let mut t = Table::new(
+        "Scientific workload (LLNL-style synchronized bursts)",
+        &["strategy", "ops/s/MDS", "lat_ms", "p99_ms", "peak_node_share"],
+    );
+    for p in points {
+        t.row(&[
+            p.strategy.label().to_string(),
+            format!("{:.0}", p.throughput),
+            format!("{:.2}", p.latency_ms),
+            format!("{:.2}", p.latency_p99_ms),
+            format!("{:.2}", p.peak_node_share),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,178 @@
+//! Figures 5 and 6: dynamic vs static subtree partitioning under a
+//! workload that shifts mid-run.
+//!
+//! "After a short time, about half of the clients change their local
+//! region of activity and create new files in portions of the hierarchy
+//! served by a single MDS" (§5.3.2). Figure 5 plots the range and average
+//! of per-MDS throughput over time; Figure 6 plots the fraction of
+//! requests forwarded (§5.3.3), whose spike marks the shift and whose
+//! elevated tail under dynamic partitioning is the price of metadata
+//! migration.
+
+use dynmds_core::{SimReport, Simulation};
+use dynmds_event::{SimDuration, SimTime};
+use dynmds_metrics::Table;
+use dynmds_namespace::{ClientId, InodeId};
+use dynmds_partition::{StrategyKind, SubtreePartition};
+use dynmds_workload::{GeneralWorkload, ShiftingWorkload, WorkloadConfig};
+
+use crate::parallel::parallel_map;
+use crate::params::{scaling_config, ExperimentScale};
+
+/// Cluster size for the shift experiment.
+pub const SHIFT_CLUSTER: u16 = 8;
+
+/// Results for both strategies.
+pub struct ShiftResult {
+    /// DynamicSubtree run.
+    pub dynamic: SimReport,
+    /// StaticSubtree run.
+    pub static_: SimReport,
+    /// When the shift happened.
+    pub shift_at: SimTime,
+    /// Run length.
+    pub duration: SimTime,
+}
+
+/// Timing knobs per scale.
+pub fn shift_times(scale: ExperimentScale) -> (SimTime, SimTime) {
+    match scale {
+        ExperimentScale::Quick => (SimTime::from_secs(8), SimTime::from_secs(25)),
+        ExperimentScale::Full => (SimTime::from_secs(25), SimTime::from_secs(90)),
+    }
+}
+
+fn run_one(strategy: StrategyKind, scale: ExperimentScale) -> SimReport {
+    let (shift_at, duration) = shift_times(scale);
+    let mut cfg = scaling_config(strategy, SHIFT_CLUSTER, scale);
+    // Both runs share seeds so the workloads are identical.
+    cfg.seed = 4242;
+    // The contrast under study is MDS load distribution; keep the shared
+    // OSD pool out of the bottleneck.
+    cfg.n_osds = SHIFT_CLUSTER as usize * 6;
+    // Generate extra "dormant" home trees nobody touches before the shift:
+    // the migration targets previously unexplored territory, so clients
+    // must rediscover routes (the Figure 6 spike) and the serving MDS sees
+    // genuinely new load.
+    let active_users = cfg.n_clients as usize;
+    let reserve_users = (active_users / 2).max(SHIFT_CLUSTER as usize * 2);
+    let snap = dynmds_namespace::NamespaceSpec::with_target_items(
+        active_users + reserve_users,
+        scale.items_per_mds() * cfg.n_mds as u64,
+        cfg.seed ^ 0xF5,
+    )
+    .generate();
+    let active_homes = &snap.user_homes[..active_users];
+    let reserve_homes = &snap.user_homes[active_users..];
+
+    // Destination: the dormant homes served by whichever single MDS serves
+    // the most of them under the shared initial partition.
+    let preview = SubtreePartition::initial_near_root(&snap.ns, cfg.n_mds, 2);
+    let mut per_mds: Vec<Vec<InodeId>> = vec![Vec::new(); cfg.n_mds as usize];
+    for &h in reserve_homes {
+        per_mds[preview.authority(&snap.ns, h).index()].push(h);
+    }
+    let destinations = per_mds
+        .into_iter()
+        .max_by_key(|v| v.len())
+        .expect("non-empty cluster");
+    assert!(!destinations.is_empty(), "reserve homes must exist");
+
+    let base = GeneralWorkload::new(
+        WorkloadConfig { seed: cfg.seed ^ 0x17, ..Default::default() },
+        cfg.n_clients as usize,
+        active_homes,
+        &snap.shared_roots,
+        &snap.ns,
+    );
+    let movers: Vec<ClientId> = (0..cfg.n_clients).filter(|c| c % 2 == 0).map(ClientId).collect();
+    let wl = Box::new(ShiftingWorkload::new(base, shift_at, movers, destinations));
+
+    let mut sim = Simulation::new(cfg, snap, wl);
+    sim.run_until(duration);
+    sim.finish()
+}
+
+/// Runs dynamic and static side by side (in parallel).
+pub fn run_shift(scale: ExperimentScale) -> ShiftResult {
+    let (shift_at, duration) = shift_times(scale);
+    let strategies = [StrategyKind::DynamicSubtree, StrategyKind::StaticSubtree];
+    let mut reports = parallel_map(&strategies, |&s| run_one(s, scale));
+    let static_ = reports.pop().expect("two runs");
+    let dynamic = reports.pop().expect("two runs");
+    ShiftResult { dynamic, static_, shift_at, duration }
+}
+
+/// Figure 5 table: per-bin min/avg/max per-MDS throughput for both
+/// strategies.
+pub fn fig5_table(r: &ShiftResult, bin: SimDuration) -> Table {
+    let mut t = Table::new(
+        "Figure 5: MDS throughput (ops/sec) range over time under a workload shift",
+        &["t", "dyn_min", "dyn_avg", "dyn_max", "sta_min", "sta_avg", "sta_max"],
+    );
+    let d = r.dynamic.throughput_range_series(bin);
+    let s = r.static_.throughput_range_series(bin);
+    for (dp, sp) in d.iter().zip(s.iter()) {
+        t.row(&[
+            format!("{:.0}", dp.0.as_secs_f64()),
+            format!("{:.0}", dp.1),
+            format!("{:.0}", dp.2),
+            format!("{:.0}", dp.3),
+            format!("{:.0}", sp.1),
+            format!("{:.0}", sp.2),
+            format!("{:.0}", sp.3),
+        ]);
+    }
+    t
+}
+
+/// Figure 6 table: per-bin forwarded fraction for both strategies.
+pub fn fig6_table(r: &ShiftResult, bin: SimDuration) -> Table {
+    let mut t = Table::new(
+        "Figure 6: portion of requests forwarded under a dynamic workload",
+        &["t", "dynamic", "static"],
+    );
+    let d = r.dynamic.forward_fraction_series(bin);
+    let s = r.static_.forward_fraction_series(bin);
+    for (dp, sp) in d.iter().zip(s.iter()) {
+        t.row(&[
+            format!("{:.0}", dp.0.as_secs_f64()),
+            format!("{:.4}", dp.1),
+            format!("{:.4}", sp.1),
+        ]);
+    }
+    t
+}
+
+/// Headline numbers for EXPERIMENTS.md: average cluster throughput after
+/// the shift, both strategies, plus migration count.
+pub struct ShiftSummary {
+    /// Mean per-MDS throughput after the shift, dynamic.
+    pub dyn_after: f64,
+    /// Mean per-MDS throughput after the shift, static.
+    pub sta_after: f64,
+    /// Peak per-node throughput spread (max-min) after shift, static.
+    pub sta_spread: f64,
+    /// Peak per-node throughput spread (max-min) after shift, dynamic.
+    pub dyn_spread: f64,
+}
+
+/// Computes the post-shift summary.
+pub fn shift_summary(r: &ShiftResult) -> ShiftSummary {
+    let bin = SimDuration::from_secs(1);
+    let settle = SimDuration::from_secs(5);
+    let after = |rep: &SimReport| {
+        let pts: Vec<(SimTime, f64, f64, f64)> = rep
+            .throughput_range_series(bin)
+            .into_iter()
+            .filter(|&(t, _, _, _)| t >= r.shift_at + settle)
+            .collect();
+        let n = pts.len().max(1) as f64;
+        let avg = pts.iter().map(|p| p.2).sum::<f64>() / n;
+        let spread = pts.iter().map(|p| p.3 - p.1).sum::<f64>() / n;
+        (avg, spread)
+    };
+    let (dyn_after, dyn_spread) = after(&r.dynamic);
+    let (sta_after, sta_spread) = after(&r.static_);
+    ShiftSummary { dyn_after, sta_after, sta_spread, dyn_spread }
+}

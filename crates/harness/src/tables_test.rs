@@ -1,0 +1,120 @@
+//! Unit tests for the figure table builders (synthetic points — no
+//! simulations).
+
+#![cfg(test)]
+
+use dynmds_partition::StrategyKind;
+
+use crate::ablation::{ablation_table, lease_table, AblationPoint, LeasePoint};
+use crate::hitrate::{fig4_table, HitratePoint};
+use crate::scaling::{context_table, fig2_table, fig3_table, ScalePoint};
+use crate::scirun::{sci_table, SciPoint};
+
+fn scale_point(strategy: StrategyKind, n_mds: u16, throughput: f64) -> ScalePoint {
+    ScalePoint {
+        strategy,
+        n_mds,
+        throughput,
+        prefix_pct: 12.5,
+        hit_rate: 0.95,
+        forward_frac: 0.01,
+        latency_ms: 4.2,
+        fetches_per_op: 0.2,
+    }
+}
+
+#[test]
+fn fig2_table_is_size_by_strategy() {
+    let mut points = Vec::new();
+    for &n in &[5u16, 10] {
+        for s in StrategyKind::ALL {
+            points.push(scale_point(s, n, 1000.0 + n as f64));
+        }
+    }
+    let t = fig2_table(&points);
+    assert_eq!(t.len(), 2, "one row per cluster size");
+    let csv = t.to_csv();
+    assert!(csv.starts_with("mds,StaticSubtree,DynamicSubtree,DirHash,FileHash,LazyHybrid"));
+    assert!(csv.contains("\n5,1005,1005,1005,1005,1005"));
+}
+
+#[test]
+fn fig2_table_marks_missing_cells() {
+    let points = vec![scale_point(StrategyKind::DirHash, 5, 900.0)];
+    let t = fig2_table(&points);
+    let csv = t.to_csv();
+    assert!(csv.contains("5,-,-,900,-,-"), "absent strategies render as '-': {csv}");
+}
+
+#[test]
+fn fig3_table_omits_lazy_hybrid() {
+    let points: Vec<ScalePoint> = StrategyKind::ALL
+        .iter()
+        .map(|&s| scale_point(s, 5, 1000.0))
+        .collect();
+    let t = fig3_table(&points);
+    let csv = t.to_csv();
+    assert!(!csv.contains("LazyHybrid"), "the paper's Figure 3 has four lines");
+    assert!(csv.contains("DynamicSubtree"));
+}
+
+#[test]
+fn fig4_table_sorts_fractions() {
+    let mk = |f: f64| HitratePoint {
+        strategy: StrategyKind::StaticSubtree,
+        cache_frac: f,
+        hit_rate: f,
+        throughput: 1.0,
+    };
+    let t = fig4_table(&[mk(0.6), mk(0.025), mk(0.2)]);
+    let csv = t.to_csv();
+    let rows: Vec<&str> = csv.lines().skip(1).collect();
+    assert_eq!(rows.len(), 3);
+    assert!(rows[0].starts_with("0.025"));
+    assert!(rows[2].starts_with("0.600"));
+}
+
+#[test]
+fn context_and_sci_tables_render_every_point() {
+    let pts: Vec<ScalePoint> = StrategyKind::ALL
+        .iter()
+        .map(|&s| scale_point(s, 5, 1000.0))
+        .collect();
+    assert_eq!(context_table(&pts).len(), 5);
+
+    let sci: Vec<SciPoint> = StrategyKind::ALL
+        .iter()
+        .map(|&s| SciPoint {
+            strategy: s,
+            throughput: 5000.0,
+            latency_ms: 3.0,
+            latency_p99_ms: 30.0,
+            peak_node_share: 0.13,
+        })
+        .collect();
+    assert_eq!(sci_table(&sci).len(), 5);
+}
+
+#[test]
+fn ablation_tables_render() {
+    let pts = vec![AblationPoint {
+        label: "on".into(),
+        throughput: 100.0,
+        hit_rate: 0.9,
+        disk_fetches: 42,
+        served_min: 1,
+        served_max: 2,
+    }];
+    let t = ablation_table("x", &pts);
+    assert!(t.to_csv().contains("on,100,90.0,42,1,2"));
+
+    let lp = vec![LeasePoint {
+        label: "on".into(),
+        mds_ops: 700.0,
+        client_ops: 9000.0,
+        lease_frac: 0.4,
+        latency_ms: 3.5,
+    }];
+    let lt = lease_table(&lp);
+    assert!(lt.to_csv().contains("on,700,9000,40.0,3.50"));
+}

@@ -1,0 +1,145 @@
+//! Plain-text line charts, for rendering figure-shaped series in
+//! terminals, examples and EXPERIMENTS.md.
+
+/// A multi-series ASCII chart over a shared x-axis.
+pub struct AsciiChart {
+    title: String,
+    width: usize,
+    height: usize,
+    series: Vec<(char, Vec<(f64, f64)>)>,
+}
+
+impl AsciiChart {
+    /// Creates a chart with the plotting area `width × height` characters.
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        assert!(width >= 10 && height >= 3, "chart area too small");
+        AsciiChart { title: title.into(), width, height, series: Vec::new() }
+    }
+
+    /// Adds a series drawn with `glyph`.
+    pub fn series(&mut self, glyph: char, points: &[(f64, f64)]) -> &mut Self {
+        self.series.push((glyph, points.to_vec()));
+        self
+    }
+
+    /// Renders the chart. Later series overdraw earlier ones where they
+    /// collide.
+    pub fn render(&self) -> String {
+        let all: Vec<(f64, f64)> = self.series.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+        if all.is_empty() {
+            return format!("# {}\n(empty chart)\n", self.title);
+        }
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+        if (x_max - x_min).abs() < f64::EPSILON {
+            x_max = x_min + 1.0;
+        }
+        if (y_max - y_min).abs() < f64::EPSILON {
+            y_max = y_min + 1.0;
+        }
+        // Anchor the y-axis at zero for magnitude-style data.
+        if y_min > 0.0 {
+            y_min = 0.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (glyph, points) in &self.series {
+            for &(x, y) in points {
+                let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
+                let cy = ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - cy.min(self.height - 1);
+                grid[row][cx.min(self.width - 1)] = *glyph;
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        let y_label_top = format!("{y_max:.0}");
+        let y_label_bot = format!("{y_min:.0}");
+        let label_w = y_label_top.len().max(y_label_bot.len());
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{y_label_top:>label_w$}")
+            } else if i == self.height - 1 {
+                format!("{y_label_bot:>label_w$}")
+            } else {
+                " ".repeat(label_w)
+            };
+            out.push_str(&label);
+            out.push('|');
+            out.push_str(&row.iter().collect::<String>());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(label_w));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        out.push_str(&format!(
+            "{}{:<w$.0}{:>w2$.0}\n",
+            " ".repeat(label_w + 1),
+            x_min,
+            x_max,
+            w = self.width / 2,
+            w2 = self.width - self.width / 2,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_axes_and_points() {
+        let mut ch = AsciiChart::new("demo", 20, 5);
+        ch.series('*', &[(0.0, 0.0), (10.0, 100.0)]);
+        let out = ch.render();
+        assert!(out.starts_with("# demo\n"));
+        assert!(out.contains('*'));
+        assert!(out.contains("100"));
+        assert!(out.contains('+'));
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 1 + 5 + 2, "title + rows + axis + labels");
+    }
+
+    #[test]
+    fn max_point_is_on_top_row_min_on_bottom() {
+        let mut ch = AsciiChart::new("", 10, 4);
+        ch.series('x', &[(0.0, 0.0), (9.0, 50.0)]);
+        let out = ch.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[1].contains('x'), "top row holds the max");
+        assert!(lines[4].contains('x'), "bottom row holds the zero");
+    }
+
+    #[test]
+    fn two_series_use_their_glyphs() {
+        let mut ch = AsciiChart::new("", 20, 5);
+        ch.series('a', &[(0.0, 1.0), (1.0, 2.0)]);
+        ch.series('b', &[(0.0, 9.0), (1.0, 8.0)]);
+        let out = ch.render();
+        assert!(out.contains('a'));
+        assert!(out.contains('b'));
+    }
+
+    #[test]
+    fn empty_chart_is_graceful() {
+        let ch = AsciiChart::new("nothing", 12, 4);
+        assert!(ch.render().contains("empty chart"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut ch = AsciiChart::new("", 12, 4);
+        ch.series('=', &[(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)]);
+        let out = ch.render();
+        assert!(out.contains('='));
+    }
+}

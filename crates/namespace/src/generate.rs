@@ -1,0 +1,316 @@
+//! Deterministic synthetic namespace snapshots.
+//!
+//! The paper runs its simulations against "snapshots of actual file
+//! systems … a large collection of home directories" (§5.2). This module
+//! generates statistically similar snapshots: a `/home` tree with one
+//! subtree per user plus a few shared project trees, with geometric nesting
+//! depth and skewed files-per-directory counts. Generation is fully
+//! deterministic in the seed, so every experiment is reproducible.
+
+use dynmds_event::SimRng;
+
+use crate::ids::InodeId;
+use crate::inode::Permissions;
+use crate::tree::Namespace;
+
+/// Parameters of a synthetic snapshot.
+#[derive(Clone, Debug)]
+pub struct NamespaceSpec {
+    /// Number of user home directories under `/home`.
+    pub users: usize,
+    /// Mean number of directories (beyond the home itself) per user tree.
+    pub mean_dirs_per_user: f64,
+    /// Geometric parameter controlling how deep new directories nest;
+    /// larger means shallower trees. Must be in `(0, 1]`.
+    pub depth_p: f64,
+    /// Mean number of files per directory (sampled per directory).
+    pub mean_files_per_dir: f64,
+    /// Number of shared top-level project trees (`/proj0`, `/proj1`, …),
+    /// each shaped like a user tree but world-readable.
+    pub shared_trees: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NamespaceSpec {
+    fn default() -> Self {
+        NamespaceSpec {
+            users: 100,
+            mean_dirs_per_user: 10.0,
+            depth_p: 0.4,
+            mean_files_per_dir: 8.0,
+            shared_trees: 4,
+            seed: 1,
+        }
+    }
+}
+
+impl NamespaceSpec {
+    /// Builds a spec that generates approximately `target_items` total
+    /// metadata items spread over `users` home trees. The approximation
+    /// solves `users * (1 + dirs) * (1 + files)` for the per-user knobs.
+    pub fn with_target_items(users: usize, target_items: u64, seed: u64) -> Self {
+        let users = users.max(1);
+        let per_user = (target_items as f64 / users as f64).max(4.0);
+        // Keep files-per-dir around the default and let directory count
+        // absorb the scale, matching how real home collections grow.
+        let files_per_dir = 8.0f64;
+        let dirs = (per_user / (1.0 + files_per_dir)).max(1.0);
+        NamespaceSpec {
+            users,
+            mean_dirs_per_user: dirs,
+            depth_p: 0.4,
+            mean_files_per_dir: files_per_dir,
+            shared_trees: (users / 25).clamp(1, 8),
+            seed,
+        }
+    }
+
+    /// Generates the snapshot.
+    pub fn generate(&self) -> Snapshot {
+        assert!(self.users > 0, "at least one user tree required");
+        assert!(
+            self.depth_p > 0.0 && self.depth_p <= 1.0,
+            "depth_p must be in (0, 1]"
+        );
+        let mut rng = SimRng::seed_from_u64(self.seed);
+        let mut ns = Namespace::new();
+        let root = ns.root();
+        let home = ns.mkdir(root, "home", Permissions::directory(0)).expect("fresh tree");
+
+        let mut user_homes = Vec::with_capacity(self.users);
+        for u in 0..self.users {
+            let uid = u as u32 + 1;
+            let name = format!("user{u:04}");
+            let h = ns.mkdir(home, &name, Permissions::directory(uid)).expect("unique name");
+            let mut sub = rng.fork(u as u64);
+            grow_tree(&mut ns, &mut sub, h, uid, self, false);
+            user_homes.push(h);
+        }
+
+        let mut shared_roots = Vec::with_capacity(self.shared_trees);
+        for s in 0..self.shared_trees {
+            let name = format!("proj{s}");
+            let p = ns.mkdir(root, &name, Permissions::directory(0)).expect("unique name");
+            let mut sub = rng.fork(0x5000 + s as u64);
+            grow_tree(&mut ns, &mut sub, p, 0, self, true);
+            shared_roots.push(p);
+        }
+
+        Snapshot { ns, user_homes, shared_roots }
+    }
+}
+
+/// Expands one user/project tree in place.
+fn grow_tree(
+    ns: &mut Namespace,
+    rng: &mut SimRng,
+    tree_root: InodeId,
+    uid: u32,
+    spec: &NamespaceSpec,
+    shared: bool,
+) {
+    // Directory skeleton: each new directory nests under a recent directory
+    // with geometric depth preference, which yields the long-tailed depth
+    // distribution of real home trees.
+    let n_dirs = sample_count(rng, spec.mean_dirs_per_user);
+    let mut dirs = vec![tree_root];
+    for d in 0..n_dirs {
+        // Walk down from the tree root a geometric number of steps through
+        // already-created directories.
+        let mut parent = tree_root;
+        let steps = rng.geometric(spec.depth_p);
+        for _ in 0..steps {
+            // Prefer recently created dirs: bias toward the back half.
+            let lo = dirs.len() / 2;
+            let idx = rng.range(lo as u64, dirs.len() as u64) as usize;
+            parent = dirs[idx];
+        }
+        let name = format!("d{d:03}");
+        let perm = if shared { Permissions::directory(0) } else { Permissions::directory(uid) };
+        if let Ok(id) = ns.mkdir(parent, &name, perm) {
+            dirs.push(id);
+        }
+    }
+
+    // Files: per-directory count sampled around the mean; shared trees are
+    // world-readable, user trees mostly private with some shared files.
+    for (i, &dir) in dirs.iter().enumerate() {
+        let n_files = sample_count(rng, spec.mean_files_per_dir);
+        for f in 0..n_files {
+            let name = format!("f{i:03}_{f:03}");
+            let perm = if shared || rng.chance(0.3) {
+                Permissions::shared(uid)
+            } else {
+                Permissions::private(uid)
+            };
+            let id = ns.create_file(dir, &name, perm).expect("unique name");
+            // Long-tailed file sizes: most small, some huge.
+            let size = (rng.exponential(64.0 * 1024.0)) as u64;
+            ns.inode_mut(id).expect("just created").size = size;
+        }
+    }
+}
+
+/// Samples a non-negative count with the given mean (exponential rounding;
+/// long-tailed like observed files-per-directory distributions).
+fn sample_count(rng: &mut SimRng, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    rng.exponential(mean).round() as usize
+}
+
+/// A generated snapshot: the namespace plus the roots the workload
+/// generators anchor client locality to.
+pub struct Snapshot {
+    /// The file-system tree.
+    pub ns: Namespace,
+    /// One home directory per user, index = user.
+    pub user_homes: Vec<InodeId>,
+    /// Shared project trees.
+    pub shared_roots: Vec<InodeId>,
+}
+
+impl Snapshot {
+    /// Summary statistics, used by experiment logs and tests.
+    pub fn stats(&self) -> SnapshotStats {
+        let ns = &self.ns;
+        let mut max_depth = 0usize;
+        let mut total_depth = 0u64;
+        let mut files = 0u64;
+        let mut dirs = 0u64;
+        for id in ns.live_ids() {
+            let d = ns.depth(id).expect("live");
+            max_depth = max_depth.max(d);
+            total_depth += d as u64;
+            if ns.is_dir(id) {
+                dirs += 1;
+            } else {
+                files += 1;
+            }
+        }
+        let total = files + dirs;
+        SnapshotStats {
+            files,
+            dirs,
+            total,
+            max_depth,
+            mean_depth: if total > 0 { total_depth as f64 / total as f64 } else { 0.0 },
+            mean_files_per_dir: if dirs > 0 { files as f64 / dirs as f64 } else { 0.0 },
+        }
+    }
+}
+
+/// Aggregate shape of a snapshot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SnapshotStats {
+    /// Live regular files (and symlinks).
+    pub files: u64,
+    /// Live directories.
+    pub dirs: u64,
+    /// Total live items.
+    pub total: u64,
+    /// Deepest entry.
+    pub max_depth: usize,
+    /// Mean depth over all entries.
+    pub mean_depth: f64,
+    /// Files per directory on average.
+    pub mean_files_per_dir: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = NamespaceSpec { users: 10, seed: 7, ..Default::default() };
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.ns.total_items(), b.ns.total_items());
+        let pa: Vec<String> =
+            a.ns.walk(a.ns.root()).map(|i| a.ns.path_of(i).unwrap()).collect();
+        let pb: Vec<String> =
+            b.ns.walk(b.ns.root()).map(|i| b.ns.path_of(i).unwrap()).collect();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = NamespaceSpec { users: 10, seed: 1, ..Default::default() }.generate();
+        let b = NamespaceSpec { users: 10, seed: 2, ..Default::default() }.generate();
+        assert_ne!(a.ns.total_items(), b.ns.total_items());
+    }
+
+    #[test]
+    fn one_home_per_user() {
+        let snap = NamespaceSpec { users: 25, seed: 3, ..Default::default() }.generate();
+        assert_eq!(snap.user_homes.len(), 25);
+        for (u, &h) in snap.user_homes.iter().enumerate() {
+            let path = snap.ns.path_of(h).unwrap();
+            assert_eq!(path, format!("/home/user{u:04}"));
+            assert_eq!(snap.ns.inode(h).unwrap().perm.uid, u as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn shared_trees_exist_and_are_world_readable() {
+        let spec = NamespaceSpec { users: 10, shared_trees: 3, seed: 5, ..Default::default() };
+        let snap = spec.generate();
+        assert_eq!(snap.shared_roots.len(), 3);
+        for &p in &snap.shared_roots {
+            assert!(snap.ns.is_dir(p));
+            assert!(snap.ns.inode(p).unwrap().perm.allows_traverse(999));
+        }
+    }
+
+    #[test]
+    fn target_items_is_roughly_met() {
+        for target in [2_000u64, 10_000, 40_000] {
+            let spec = NamespaceSpec::with_target_items(50, target, 11);
+            let snap = spec.generate();
+            let total = snap.ns.total_items();
+            let lo = target / 2;
+            let hi = target * 2;
+            assert!(
+                (lo..hi).contains(&total),
+                "target {target} produced {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent_with_tree() {
+        let snap = NamespaceSpec { users: 20, seed: 9, ..Default::default() }.generate();
+        let st = snap.stats();
+        assert_eq!(st.total, snap.ns.total_items());
+        assert_eq!(st.files, snap.ns.num_files());
+        assert_eq!(st.dirs, snap.ns.num_dirs());
+        assert!(st.max_depth >= 2, "home trees nest below /home/userX");
+        assert!(st.mean_depth > 1.0);
+        assert!(st.mean_files_per_dir > 0.0);
+    }
+
+    #[test]
+    fn trees_have_depth_variation() {
+        let snap = NamespaceSpec {
+            users: 30,
+            mean_dirs_per_user: 20.0,
+            seed: 13,
+            ..Default::default()
+        }
+        .generate();
+        let st = snap.stats();
+        assert!(st.max_depth > 3, "expected nesting, got max depth {}", st.max_depth);
+    }
+
+    #[test]
+    fn user_files_are_owned_by_user() {
+        let snap = NamespaceSpec { users: 5, seed: 17, ..Default::default() }.generate();
+        let home0 = snap.user_homes[0];
+        for id in snap.ns.walk(home0) {
+            assert_eq!(snap.ns.inode(id).unwrap().perm.uid, 1);
+        }
+    }
+}

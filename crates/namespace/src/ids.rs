@@ -1,0 +1,91 @@
+//! Strongly typed identifiers shared across the workspace.
+
+use std::fmt;
+
+/// Identifier of a file or directory inode. Inode ids are allocated
+/// sequentially by [`crate::Namespace`] and never reused, which mirrors the
+/// paper's observation that without a global inode table the system needs
+/// only "an alternative (though simpler) mechanism for allocating unique
+/// identifiers".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InodeId(pub u64);
+
+impl InodeId {
+    /// Index form for arena addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for InodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ino{}", self.0)
+    }
+}
+
+/// Identifier of a metadata server in the cluster (dense, `0..n`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MdsId(pub u16);
+
+impl MdsId {
+    /// Index form for dense per-node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MdsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mds{}", self.0)
+    }
+}
+
+/// Identifier of a simulated client (dense, `0..n`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClientId(pub u32);
+
+impl ClientId {
+    /// Index form for dense per-client arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_distinct_types_with_indices() {
+        assert_eq!(InodeId(7).index(), 7);
+        assert_eq!(MdsId(3).index(), 3);
+        assert_eq!(ClientId(9).index(), 9);
+    }
+
+    #[test]
+    fn ids_display_with_prefixes() {
+        assert_eq!(InodeId(1).to_string(), "ino1");
+        assert_eq!(MdsId(2).to_string(), "mds2");
+        assert_eq!(ClientId(3).to_string(), "client3");
+    }
+
+    #[test]
+    fn ids_hash_and_order() {
+        let mut set = HashSet::new();
+        set.insert(InodeId(1));
+        set.insert(InodeId(1));
+        set.insert(InodeId(2));
+        assert_eq!(set.len(), 2);
+        assert!(MdsId(0) < MdsId(1));
+    }
+}

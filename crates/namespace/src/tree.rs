@@ -1,0 +1,755 @@
+//! The namespace tree: an arena of embedded-inode directory entries.
+//!
+//! Nodes are addressed by [`InodeId`], which doubles as the arena index.
+//! Ids are never reused; unlinked nodes are tombstoned. Directory children
+//! are kept in a `BTreeMap` so iteration order — and therefore every
+//! simulation that walks the tree — is deterministic.
+//!
+//! Hard links are supported the way the paper treats them (§4.5): every
+//! inode has one *primary* dentry (where the inode is embedded); additional
+//! links are plain name→id entries, and the storage layer's anchor table is
+//! responsible for locating multiply-linked inodes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ids::InodeId;
+use crate::inode::{FileType, Inode, Permissions};
+
+/// Errors from namespace operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NamespaceError {
+    /// No entry with that id / name.
+    NotFound,
+    /// Operation requires a directory but the target is not one.
+    NotADirectory,
+    /// Operation requires a non-directory but the target is a directory.
+    IsADirectory,
+    /// Name already taken in the target directory.
+    AlreadyExists,
+    /// Directory is not empty (rmdir semantics).
+    NotEmpty,
+    /// Rename would move a directory into its own subtree, or touch root.
+    InvalidMove,
+}
+
+impl fmt::Display for NamespaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NamespaceError::NotFound => "entry not found",
+            NamespaceError::NotADirectory => "not a directory",
+            NamespaceError::IsADirectory => "is a directory",
+            NamespaceError::AlreadyExists => "name already exists",
+            NamespaceError::NotEmpty => "directory not empty",
+            NamespaceError::InvalidMove => "invalid move",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for NamespaceError {}
+
+pub(crate) struct Node {
+    /// Primary parent directory; `None` for the root and for tombstones.
+    pub(crate) parent: Option<InodeId>,
+    /// Name of the primary dentry within `parent`.
+    pub(crate) name: Box<str>,
+    pub(crate) inode: Inode,
+    /// `Some` for directories.
+    pub(crate) children: Option<BTreeMap<Box<str>, InodeId>>,
+    pub(crate) alive: bool,
+}
+
+/// The file-system hierarchy.
+pub struct Namespace {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: InodeId,
+    pub(crate) live_files: u64,
+    pub(crate) live_dirs: u64,
+}
+
+impl Namespace {
+    /// Creates a namespace containing only the root directory, owned by
+    /// uid 0.
+    pub fn new() -> Self {
+        let root_id = InodeId(0);
+        let root = Node {
+            parent: None,
+            name: "".into(),
+            inode: Inode::new(root_id, FileType::Directory, Permissions::directory(0)),
+            children: Some(BTreeMap::new()),
+            alive: true,
+        };
+        Namespace { nodes: vec![root], root: root_id, live_files: 0, live_dirs: 1 }
+    }
+
+    /// Root directory id.
+    pub fn root(&self) -> InodeId {
+        self.root
+    }
+
+    /// Number of live regular files and symlinks.
+    pub fn num_files(&self) -> u64 {
+        self.live_files
+    }
+
+    /// Number of live directories (including root).
+    pub fn num_dirs(&self) -> u64 {
+        self.live_dirs
+    }
+
+    /// Total live metadata items.
+    pub fn total_items(&self) -> u64 {
+        self.live_files + self.live_dirs
+    }
+
+    /// Highest id ever allocated plus one (arena size).
+    pub fn id_bound(&self) -> u64 {
+        self.nodes.len() as u64
+    }
+
+    fn node(&self, id: InodeId) -> Result<&Node, NamespaceError> {
+        self.nodes
+            .get(id.index())
+            .filter(|n| n.alive)
+            .ok_or(NamespaceError::NotFound)
+    }
+
+    fn node_mut(&mut self, id: InodeId) -> Result<&mut Node, NamespaceError> {
+        self.nodes
+            .get_mut(id.index())
+            .filter(|n| n.alive)
+            .ok_or(NamespaceError::NotFound)
+    }
+
+    /// Whether `id` refers to a live entry.
+    pub fn is_alive(&self, id: InodeId) -> bool {
+        self.nodes.get(id.index()).map(|n| n.alive).unwrap_or(false)
+    }
+
+    /// The inode record for `id`.
+    pub fn inode(&self, id: InodeId) -> Result<&Inode, NamespaceError> {
+        self.node(id).map(|n| &n.inode)
+    }
+
+    /// Mutable inode record for `id`.
+    pub fn inode_mut(&mut self, id: InodeId) -> Result<&mut Inode, NamespaceError> {
+        self.node_mut(id).map(|n| &mut n.inode)
+    }
+
+    /// Primary parent directory of `id` (`None` for the root).
+    pub fn parent(&self, id: InodeId) -> Result<Option<InodeId>, NamespaceError> {
+        self.node(id).map(|n| n.parent)
+    }
+
+    /// Name of the primary dentry of `id` (empty for the root).
+    pub fn name(&self, id: InodeId) -> Result<&str, NamespaceError> {
+        self.node(id).map(|n| &*n.name)
+    }
+
+    /// Whether `id` is a directory.
+    pub fn is_dir(&self, id: InodeId) -> bool {
+        self.node(id).map(|n| n.inode.ftype.is_dir()).unwrap_or(false)
+    }
+
+    /// Iterates `(name, child_id)` over a directory, in name order.
+    pub fn children(
+        &self,
+        dir: InodeId,
+    ) -> Result<impl Iterator<Item = (&str, InodeId)> + '_, NamespaceError> {
+        let n = self.node(dir)?;
+        let map = n.children.as_ref().ok_or(NamespaceError::NotADirectory)?;
+        Ok(map.iter().map(|(k, v)| (&**k, *v)))
+    }
+
+    /// Number of entries in a directory.
+    pub fn child_count(&self, dir: InodeId) -> Result<usize, NamespaceError> {
+        let n = self.node(dir)?;
+        n.children.as_ref().map(|m| m.len()).ok_or(NamespaceError::NotADirectory)
+    }
+
+    /// Looks up `name` in `dir`.
+    pub fn lookup(&self, dir: InodeId, name: &str) -> Result<InodeId, NamespaceError> {
+        let n = self.node(dir)?;
+        let map = n.children.as_ref().ok_or(NamespaceError::NotADirectory)?;
+        map.get(name).copied().ok_or(NamespaceError::NotFound)
+    }
+
+    /// Resolves an absolute `/`-separated path to an id.
+    pub fn resolve(&self, path: &str) -> Result<InodeId, NamespaceError> {
+        let mut cur = self.root;
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            cur = self.lookup(cur, comp)?;
+        }
+        Ok(cur)
+    }
+
+    /// The absolute path of the primary dentry of `id`.
+    pub fn path_of(&self, id: InodeId) -> Result<String, NamespaceError> {
+        let mut comps: Vec<&str> = Vec::new();
+        let mut cur = self.node(id)?;
+        while let Some(p) = cur.parent {
+            comps.push(&cur.name);
+            cur = self.node(p)?;
+        }
+        if comps.is_empty() {
+            return Ok("/".to_string());
+        }
+        let mut out = String::new();
+        for c in comps.iter().rev() {
+            out.push('/');
+            out.push_str(c);
+        }
+        Ok(out)
+    }
+
+    /// Ancestors of `id`, nearest first, ending with the root. The entry
+    /// itself is not included.
+    pub fn ancestors(&self, id: InodeId) -> AncestorIter<'_> {
+        let next = self.nodes.get(id.index()).filter(|n| n.alive).and_then(|n| n.parent);
+        AncestorIter { ns: self, next }
+    }
+
+    /// Depth of `id` below the root (root is depth 0).
+    pub fn depth(&self, id: InodeId) -> Result<usize, NamespaceError> {
+        self.node(id)?;
+        Ok(self.ancestors(id).count())
+    }
+
+    /// Whether `anc` is a strict ancestor of `id`.
+    pub fn is_ancestor(&self, anc: InodeId, id: InodeId) -> bool {
+        self.ancestors(id).any(|a| a == anc)
+    }
+
+    fn alloc(&mut self, node: Node) -> InodeId {
+        let id = InodeId(self.nodes.len() as u64);
+        debug_assert_eq!(node.inode.id, id);
+        self.nodes.push(node);
+        id
+    }
+
+    fn insert_child(
+        &mut self,
+        dir: InodeId,
+        name: &str,
+        ftype: FileType,
+        perm: Permissions,
+    ) -> Result<InodeId, NamespaceError> {
+        let n = self.node(dir)?;
+        let map = n.children.as_ref().ok_or(NamespaceError::NotADirectory)?;
+        if map.contains_key(name) {
+            return Err(NamespaceError::AlreadyExists);
+        }
+        let id = InodeId(self.nodes.len() as u64);
+        let children = if ftype.is_dir() { Some(BTreeMap::new()) } else { None };
+        self.alloc(Node {
+            parent: Some(dir),
+            name: name.into(),
+            inode: Inode::new(id, ftype, perm),
+            children,
+            alive: true,
+        });
+        let map = self
+            .nodes[dir.index()]
+            .children
+            .as_mut()
+            .expect("checked directory above");
+        map.insert(name.into(), id);
+        if ftype.is_dir() {
+            self.live_dirs += 1;
+        } else {
+            self.live_files += 1;
+        }
+        Ok(id)
+    }
+
+    /// Creates a subdirectory.
+    pub fn mkdir(
+        &mut self,
+        parent: InodeId,
+        name: &str,
+        perm: Permissions,
+    ) -> Result<InodeId, NamespaceError> {
+        self.insert_child(parent, name, FileType::Directory, perm)
+    }
+
+    /// Creates a regular file.
+    pub fn create_file(
+        &mut self,
+        parent: InodeId,
+        name: &str,
+        perm: Permissions,
+    ) -> Result<InodeId, NamespaceError> {
+        self.insert_child(parent, name, FileType::File, perm)
+    }
+
+    /// Creates a symlink (opaque to the metadata cluster beyond existing).
+    pub fn create_symlink(
+        &mut self,
+        parent: InodeId,
+        name: &str,
+        perm: Permissions,
+    ) -> Result<InodeId, NamespaceError> {
+        self.insert_child(parent, name, FileType::Symlink, perm)
+    }
+
+    /// Adds a hard link `dir/name` → `target`. The target must be a file
+    /// (POSIX forbids directory hard links). The new link is secondary:
+    /// the inode stays embedded at its primary dentry.
+    pub fn link(
+        &mut self,
+        target: InodeId,
+        dir: InodeId,
+        name: &str,
+    ) -> Result<(), NamespaceError> {
+        if self.node(target)?.inode.ftype.is_dir() {
+            return Err(NamespaceError::IsADirectory);
+        }
+        let d = self.node(dir)?;
+        let map = d.children.as_ref().ok_or(NamespaceError::NotADirectory)?;
+        if map.contains_key(name) {
+            return Err(NamespaceError::AlreadyExists);
+        }
+        self.nodes[dir.index()]
+            .children
+            .as_mut()
+            .expect("checked directory above")
+            .insert(name.into(), target);
+        self.nodes[target.index()].inode.nlink += 1;
+        Ok(())
+    }
+
+    /// Removes the entry `dir/name`. Directories must be empty. Removing a
+    /// secondary hard link just drops the dentry; the inode dies when its
+    /// last link is removed. Returns the id the dentry referred to.
+    pub fn unlink(&mut self, dir: InodeId, name: &str) -> Result<InodeId, NamespaceError> {
+        let id = self.lookup(dir, name)?;
+        let target = self.node(id)?;
+        let is_dir = target.inode.ftype.is_dir();
+        if is_dir {
+            if target.parent != Some(dir) || &*target.name != name {
+                return Err(NamespaceError::NotFound);
+            }
+            if target.children.as_ref().map(|m| !m.is_empty()).unwrap_or(false) {
+                return Err(NamespaceError::NotEmpty);
+            }
+        }
+        self.nodes[dir.index()]
+            .children
+            .as_mut()
+            .expect("dir checked by lookup")
+            .remove(name);
+        let node = &mut self.nodes[id.index()];
+        node.inode.nlink -= 1;
+        let was_primary = node.parent == Some(dir) && &*node.name == name;
+        if node.inode.nlink == 0 {
+            node.alive = false;
+            node.parent = None;
+            if is_dir {
+                self.live_dirs -= 1;
+            } else {
+                self.live_files -= 1;
+            }
+        } else if was_primary {
+            // Promote some surviving link to primary so path_of stays total.
+            if let Some((p, n)) = self.find_any_link(id) {
+                let node = &mut self.nodes[id.index()];
+                node.parent = Some(p);
+                node.name = n;
+            }
+        }
+        Ok(id)
+    }
+
+    /// Finds any surviving dentry referring to `id` (O(tree); hard links
+    /// are rare, per the paper, so this never shows up in profiles).
+    fn find_any_link(&self, id: InodeId) -> Option<(InodeId, Box<str>)> {
+        for (idx, n) in self.nodes.iter().enumerate() {
+            if !n.alive {
+                continue;
+            }
+            if let Some(map) = &n.children {
+                for (name, child) in map {
+                    if *child == id {
+                        return Some((InodeId(idx as u64), name.clone()));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Moves/renames the primary dentry `old_dir/old_name` to
+    /// `new_dir/new_name`. Refuses to move a directory into its own
+    /// subtree, to move the root, or to clobber an existing name.
+    pub fn rename(
+        &mut self,
+        old_dir: InodeId,
+        old_name: &str,
+        new_dir: InodeId,
+        new_name: &str,
+    ) -> Result<InodeId, NamespaceError> {
+        let id = self.lookup(old_dir, old_name)?;
+        if id == self.root {
+            return Err(NamespaceError::InvalidMove);
+        }
+        // A directory may not be moved under itself or its descendants.
+        if self.is_dir(id) && (id == new_dir || self.is_ancestor(id, new_dir)) {
+            return Err(NamespaceError::InvalidMove);
+        }
+        {
+            let nd = self.node(new_dir)?;
+            let map = nd.children.as_ref().ok_or(NamespaceError::NotADirectory)?;
+            if map.contains_key(new_name) && !(new_dir == old_dir && new_name == old_name) {
+                return Err(NamespaceError::AlreadyExists);
+            }
+        }
+        self.nodes[old_dir.index()]
+            .children
+            .as_mut()
+            .expect("dir checked by lookup")
+            .remove(old_name);
+        self.nodes[new_dir.index()]
+            .children
+            .as_mut()
+            .expect("checked directory above")
+            .insert(new_name.into(), id);
+        let node = &mut self.nodes[id.index()];
+        if node.parent == Some(old_dir) && &*node.name == old_name {
+            node.parent = Some(new_dir);
+            node.name = new_name.into();
+        }
+        Ok(id)
+    }
+
+    /// Changes the mode bits of `id`.
+    pub fn chmod(&mut self, id: InodeId, mode: u16) -> Result<(), NamespaceError> {
+        self.node_mut(id)?.inode.perm.mode = mode & 0o777;
+        Ok(())
+    }
+
+    /// Verifies that `uid` may traverse every ancestor directory of `id`
+    /// and read the entry itself — the path-traversal permission check the
+    /// MDS performs (§4.1). Returns the number of directories visited.
+    pub fn check_access(&self, id: InodeId, uid: u32) -> Result<usize, NamespaceError> {
+        let mut visited = 0;
+        for anc in self.ancestors(id) {
+            visited += 1;
+            if !self.node(anc)?.inode.perm.allows_traverse(uid) {
+                return Err(NamespaceError::NotFound); // POSIX hides the entry
+            }
+        }
+        if !self.node(id)?.inode.perm.allows_read(uid) {
+            return Err(NamespaceError::NotFound);
+        }
+        Ok(visited)
+    }
+
+    /// Counts live items in the subtree rooted at `id` (inclusive).
+    pub fn subtree_count(&self, id: InodeId) -> Result<u64, NamespaceError> {
+        self.node(id)?;
+        let mut count = 0u64;
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            count += 1;
+            if let Ok(kids) = self.children(cur) {
+                stack.extend(kids.map(|(_, c)| c));
+            }
+        }
+        Ok(count)
+    }
+
+    /// Pre-order walk of the subtree rooted at `id` (inclusive).
+    pub fn walk(&self, id: InodeId) -> WalkIter<'_> {
+        let stack = if self.is_alive(id) { vec![id] } else { Vec::new() };
+        WalkIter { ns: self, stack }
+    }
+
+    /// All live ids, ascending.
+    pub fn live_ids(&self) -> impl Iterator<Item = InodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .map(|(i, _)| InodeId(i as u64))
+    }
+}
+
+impl Default for Namespace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Iterator over ancestors, nearest first. See [`Namespace::ancestors`].
+pub struct AncestorIter<'a> {
+    ns: &'a Namespace,
+    next: Option<InodeId>,
+}
+
+impl Iterator for AncestorIter<'_> {
+    type Item = InodeId;
+    fn next(&mut self) -> Option<InodeId> {
+        let cur = self.next?;
+        self.next = self.ns.nodes.get(cur.index()).and_then(|n| n.parent);
+        Some(cur)
+    }
+}
+
+/// Pre-order subtree iterator. See [`Namespace::walk`].
+pub struct WalkIter<'a> {
+    ns: &'a Namespace,
+    stack: Vec<InodeId>,
+}
+
+impl Iterator for WalkIter<'_> {
+    type Item = InodeId;
+    fn next(&mut self) -> Option<InodeId> {
+        let cur = self.stack.pop()?;
+        if let Ok(kids) = self.ns.children(cur) {
+            // Push in reverse name order so pop yields name order.
+            let mut ids: Vec<InodeId> = kids.map(|(_, c)| c).collect();
+            ids.reverse();
+            self.stack.extend(ids);
+        }
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perm() -> Permissions {
+        Permissions::shared(1)
+    }
+
+    fn sample() -> (Namespace, InodeId, InodeId, InodeId) {
+        // /home/alice/notes.txt
+        let mut ns = Namespace::new();
+        let home = ns.mkdir(ns.root(), "home", Permissions::directory(1)).unwrap();
+        let alice = ns.mkdir(home, "alice", Permissions::directory(1)).unwrap();
+        let notes = ns.create_file(alice, "notes.txt", perm()).unwrap();
+        (ns, home, alice, notes)
+    }
+
+    #[test]
+    fn fresh_namespace_has_only_root() {
+        let ns = Namespace::new();
+        assert_eq!(ns.total_items(), 1);
+        assert_eq!(ns.num_dirs(), 1);
+        assert_eq!(ns.num_files(), 0);
+        assert_eq!(ns.path_of(ns.root()).unwrap(), "/");
+        assert_eq!(ns.depth(ns.root()).unwrap(), 0);
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let (ns, home, alice, notes) = sample();
+        assert_eq!(ns.lookup(ns.root(), "home").unwrap(), home);
+        assert_eq!(ns.lookup(home, "alice").unwrap(), alice);
+        assert_eq!(ns.lookup(alice, "notes.txt").unwrap(), notes);
+        assert_eq!(ns.num_files(), 1);
+        assert_eq!(ns.num_dirs(), 3);
+    }
+
+    #[test]
+    fn paths_round_trip_through_resolve() {
+        let (ns, _, alice, notes) = sample();
+        assert_eq!(ns.path_of(notes).unwrap(), "/home/alice/notes.txt");
+        assert_eq!(ns.resolve("/home/alice/notes.txt").unwrap(), notes);
+        assert_eq!(ns.resolve("/home/alice").unwrap(), alice);
+        assert_eq!(ns.resolve("/").unwrap(), ns.root());
+        assert_eq!(ns.resolve("//home//alice/").unwrap(), alice);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let (mut ns, home, _, _) = sample();
+        assert_eq!(ns.mkdir(home, "alice", perm()), Err(NamespaceError::AlreadyExists));
+        assert_eq!(ns.create_file(home, "alice", perm()), Err(NamespaceError::AlreadyExists));
+    }
+
+    #[test]
+    fn files_cannot_hold_children() {
+        let (mut ns, _, _, notes) = sample();
+        assert_eq!(ns.create_file(notes, "x", perm()), Err(NamespaceError::NotADirectory));
+        assert_eq!(ns.lookup(notes, "x"), Err(NamespaceError::NotADirectory));
+        assert!(ns.children(notes).is_err());
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let (ns, home, alice, notes) = sample();
+        let ancs: Vec<InodeId> = ns.ancestors(notes).collect();
+        assert_eq!(ancs, vec![alice, home, ns.root()]);
+        assert_eq!(ns.depth(notes).unwrap(), 3);
+        assert!(ns.is_ancestor(home, notes));
+        assert!(!ns.is_ancestor(notes, home));
+        assert!(!ns.is_ancestor(notes, notes), "not a strict ancestor of itself");
+    }
+
+    #[test]
+    fn unlink_file_frees_it() {
+        let (mut ns, _, alice, notes) = sample();
+        assert_eq!(ns.unlink(alice, "notes.txt").unwrap(), notes);
+        assert!(!ns.is_alive(notes));
+        assert_eq!(ns.num_files(), 0);
+        assert_eq!(ns.lookup(alice, "notes.txt"), Err(NamespaceError::NotFound));
+        assert_eq!(ns.inode(notes), Err(NamespaceError::NotFound));
+    }
+
+    #[test]
+    fn rmdir_requires_empty() {
+        let (mut ns, home, _, _) = sample();
+        assert_eq!(ns.unlink(home, "alice"), Err(NamespaceError::NotEmpty));
+        let alice = ns.lookup(home, "alice").unwrap();
+        ns.unlink(alice, "notes.txt").unwrap();
+        ns.unlink(home, "alice").unwrap();
+        assert_eq!(ns.num_dirs(), 2);
+    }
+
+    #[test]
+    fn rename_moves_subtree() {
+        let (mut ns, home, alice, notes) = sample();
+        let bob = ns.mkdir(home, "bob", perm()).unwrap();
+        ns.rename(home, "alice", bob, "alice2").unwrap();
+        assert_eq!(ns.path_of(notes).unwrap(), "/home/bob/alice2/notes.txt");
+        assert_eq!(ns.parent(alice).unwrap(), Some(bob));
+        assert_eq!(ns.resolve("/home/bob/alice2/notes.txt").unwrap(), notes);
+        assert_eq!(ns.resolve("/home/alice/notes.txt"), Err(NamespaceError::NotFound));
+    }
+
+    #[test]
+    fn rename_within_directory_renames() {
+        let (mut ns, _, alice, notes) = sample();
+        ns.rename(alice, "notes.txt", alice, "todo.txt").unwrap();
+        assert_eq!(ns.path_of(notes).unwrap(), "/home/alice/todo.txt");
+    }
+
+    #[test]
+    fn rename_rejects_cycle() {
+        let (mut ns, home, alice, _) = sample();
+        let deep = ns.mkdir(alice, "deep", perm()).unwrap();
+        assert_eq!(ns.rename(home, "alice", deep, "x"), Err(NamespaceError::InvalidMove));
+        assert_eq!(ns.rename(home, "alice", alice, "x"), Err(NamespaceError::InvalidMove));
+    }
+
+    #[test]
+    fn rename_rejects_clobber() {
+        let (mut ns, home, _, _) = sample();
+        ns.mkdir(home, "bob", perm()).unwrap();
+        assert_eq!(ns.rename(home, "alice", home, "bob"), Err(NamespaceError::AlreadyExists));
+    }
+
+    #[test]
+    fn rename_onto_itself_is_ok() {
+        let (mut ns, home, alice, _) = sample();
+        ns.rename(home, "alice", home, "alice").unwrap();
+        assert_eq!(ns.parent(alice).unwrap(), Some(home));
+    }
+
+    #[test]
+    fn hard_links_share_an_inode() {
+        let (mut ns, home, alice, notes) = sample();
+        ns.link(notes, home, "notes-link").unwrap();
+        assert_eq!(ns.inode(notes).unwrap().nlink, 2);
+        assert_eq!(ns.lookup(home, "notes-link").unwrap(), notes);
+        // Primary path unchanged.
+        assert_eq!(ns.path_of(notes).unwrap(), "/home/alice/notes.txt");
+        // Dropping the secondary link keeps the inode alive.
+        ns.unlink(home, "notes-link").unwrap();
+        assert!(ns.is_alive(notes));
+        assert_eq!(ns.inode(notes).unwrap().nlink, 1);
+        // Dropping the last link kills it.
+        ns.unlink(alice, "notes.txt").unwrap();
+        assert!(!ns.is_alive(notes));
+    }
+
+    #[test]
+    fn unlinking_primary_promotes_secondary() {
+        let (mut ns, home, alice, notes) = sample();
+        ns.link(notes, home, "notes-link").unwrap();
+        ns.unlink(alice, "notes.txt").unwrap();
+        assert!(ns.is_alive(notes));
+        assert_eq!(ns.path_of(notes).unwrap(), "/home/notes-link");
+        assert_eq!(ns.inode(notes).unwrap().nlink, 1);
+    }
+
+    #[test]
+    fn directory_hard_links_rejected() {
+        let (mut ns, home, alice, _) = sample();
+        assert_eq!(ns.link(alice, home, "alias"), Err(NamespaceError::IsADirectory));
+    }
+
+    #[test]
+    fn chmod_masks_mode() {
+        let (mut ns, _, _, notes) = sample();
+        ns.chmod(notes, 0o7777).unwrap();
+        assert_eq!(ns.inode(notes).unwrap().perm.mode, 0o777);
+    }
+
+    #[test]
+    fn check_access_walks_prefix() {
+        let (mut ns, _, alice, notes) = sample();
+        assert_eq!(ns.check_access(notes, 1).unwrap(), 3);
+        // Lock alice's directory against others: uid 2 loses access.
+        ns.inode_mut(alice).unwrap().perm = Permissions { uid: 1, mode: 0o700 };
+        assert_eq!(ns.check_access(notes, 1).unwrap(), 3);
+        assert_eq!(ns.check_access(notes, 2), Err(NamespaceError::NotFound));
+    }
+
+    #[test]
+    fn subtree_count_counts_inclusively() {
+        let (ns, home, alice, _) = sample();
+        assert_eq!(ns.subtree_count(alice).unwrap(), 2);
+        assert_eq!(ns.subtree_count(home).unwrap(), 3);
+        assert_eq!(ns.subtree_count(ns.root()).unwrap(), 4);
+    }
+
+    #[test]
+    fn walk_is_preorder_name_ordered() {
+        let (mut ns, home, _, _) = sample();
+        ns.mkdir(home, "bob", perm()).unwrap();
+        let order: Vec<String> =
+            ns.walk(ns.root()).map(|id| ns.path_of(id).unwrap()).collect();
+        assert_eq!(
+            order,
+            vec!["/", "/home", "/home/alice", "/home/alice/notes.txt", "/home/bob"]
+        );
+    }
+
+    #[test]
+    fn walk_of_dead_node_is_empty() {
+        let (mut ns, _, alice, notes) = sample();
+        ns.unlink(alice, "notes.txt").unwrap();
+        assert_eq!(ns.walk(notes).count(), 0);
+    }
+
+    #[test]
+    fn live_ids_skip_tombstones() {
+        let (mut ns, _, alice, notes) = sample();
+        ns.unlink(alice, "notes.txt").unwrap();
+        assert!(!ns.live_ids().any(|id| id == notes));
+        assert_eq!(ns.live_ids().count(), 3);
+    }
+
+    #[test]
+    fn children_iterate_in_name_order() {
+        let mut ns = Namespace::new();
+        for name in ["zeta", "alpha", "mid"] {
+            ns.create_file(ns.root(), name, perm()).unwrap();
+        }
+        let names: Vec<&str> = ns.children(ns.root()).unwrap().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut ns = Namespace::new();
+        let a = ns.create_file(ns.root(), "a", perm()).unwrap();
+        ns.unlink(ns.root(), "a").unwrap();
+        let b = ns.create_file(ns.root(), "a", perm()).unwrap();
+        assert_ne!(a, b);
+    }
+}

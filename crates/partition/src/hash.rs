@@ -1,0 +1,218 @@
+//! Path-hash placements (§3.1.2).
+//!
+//! File hashing maps every item by a hash of its full path; directory
+//! hashing maps items by the path of their containing directory so that
+//! "directory contents \[are\] grouped on MDS nodes and on disk". Both use
+//! a stable FNV-1a hash — placement must be computable by every client and
+//! server from the name alone, and must not vary across runs.
+
+use dynmds_namespace::{InodeId, MdsId, Namespace};
+
+/// Stable 64-bit FNV-1a over a byte string, finished with a Murmur3-style
+/// avalanche so the low bits (which `% n` consumes) mix fully.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
+/// Hashes an absolute path onto one of `n` servers.
+pub fn path_hash(path: &str, n: u16) -> MdsId {
+    assert!(n > 0, "cluster must be non-empty");
+    MdsId((fnv1a(path.as_bytes()) % n as u64) as u16)
+}
+
+/// Hashes one directory entry onto one of `n` servers — the scheme used
+/// when an individual huge/hot directory is spread across the cluster
+/// (§4.3): "the authority for a given directory entry is defined by a hash
+/// of the file name and the directory inode number".
+pub fn dentry_hash(dir: InodeId, name: &str, n: u16) -> MdsId {
+    assert!(n > 0, "cluster must be non-empty");
+    let mut h = fnv1a(name.as_bytes());
+    h ^= dir.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    MdsId((h % n as u64) as u16)
+}
+
+/// Which path component the placement hashes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HashGranularity {
+    /// Full path of the item itself (file hashing, Lazy Hybrid).
+    File,
+    /// Path of the containing directory (directory hashing); directories
+    /// are grouped with their own contents.
+    Directory,
+}
+
+/// A hash placement over `n` servers.
+pub struct HashPartition {
+    n: u16,
+    granularity: HashGranularity,
+}
+
+impl HashPartition {
+    /// Creates a placement for an `n`-server cluster.
+    pub fn new(n: u16, granularity: HashGranularity) -> Self {
+        assert!(n > 0, "cluster must be non-empty");
+        HashPartition { n, granularity }
+    }
+
+    /// Cluster size.
+    pub fn cluster_size(&self) -> u16 {
+        self.n
+    }
+
+    /// Granularity.
+    pub fn granularity(&self) -> HashGranularity {
+        self.granularity
+    }
+
+    /// The authoritative MDS for `id`.
+    ///
+    /// Under [`HashGranularity::Directory`], files map by their parent
+    /// directory's path and directories by their own path (a directory's
+    /// inode lives with its contents). Under [`HashGranularity::File`],
+    /// everything maps by its own full path.
+    pub fn authority(&self, ns: &Namespace, id: InodeId) -> MdsId {
+        let key_node = match self.granularity {
+            HashGranularity::File => id,
+            HashGranularity::Directory => {
+                if ns.is_dir(id) {
+                    id
+                } else {
+                    ns.parent(id).ok().flatten().unwrap_or(id)
+                }
+            }
+        };
+        let path = ns.path_of(key_node).unwrap_or_else(|_| "/".to_string());
+        path_hash(&path, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynmds_namespace::{NamespaceSpec, Permissions};
+
+    fn small_tree() -> (Namespace, InodeId, Vec<InodeId>) {
+        let mut ns = Namespace::new();
+        let dir = ns.mkdir(ns.root(), "d", Permissions::directory(1)).unwrap();
+        let files = (0..20)
+            .map(|i| ns.create_file(dir, &format!("f{i}"), Permissions::shared(1)).unwrap())
+            .collect();
+        (ns, dir, files)
+    }
+
+    #[test]
+    fn path_hash_is_stable() {
+        assert_eq!(path_hash("/home/u/f", 16), path_hash("/home/u/f", 16));
+        // Regression pin: placement must never change across releases, or
+        // "clients can locate and contact the responsible MDS directly"
+        // breaks.
+        assert_eq!(path_hash("/home/u/f", 16), MdsId(5));
+    }
+
+    #[test]
+    fn path_hash_spreads_paths() {
+        let n = 8u16;
+        let mut counts = vec![0usize; n as usize];
+        for i in 0..4000 {
+            counts[path_hash(&format!("/home/user{i}/file{i}"), n).index()] += 1;
+        }
+        for &c in &counts {
+            assert!((350..650).contains(&c), "imbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn dir_granularity_groups_siblings() {
+        let (ns, _, files) = small_tree();
+        let p = HashPartition::new(7, HashGranularity::Directory);
+        let first = p.authority(&ns, files[0]);
+        for &f in &files {
+            assert_eq!(p.authority(&ns, f), first, "siblings must colocate");
+        }
+    }
+
+    #[test]
+    fn dir_granularity_groups_dir_with_contents() {
+        let (ns, dir, files) = small_tree();
+        let p = HashPartition::new(7, HashGranularity::Directory);
+        assert_eq!(p.authority(&ns, dir), p.authority(&ns, files[0]));
+    }
+
+    #[test]
+    fn file_granularity_scatters_siblings() {
+        let (ns, _, files) = small_tree();
+        let p = HashPartition::new(7, HashGranularity::File);
+        let distinct: std::collections::HashSet<MdsId> =
+            files.iter().map(|&f| p.authority(&ns, f)).collect();
+        assert!(distinct.len() > 2, "20 siblings should scatter, got {distinct:?}");
+    }
+
+    #[test]
+    fn rename_changes_file_hash_placement() {
+        // The LH migration cost exists because placement follows the path.
+        let (mut ns, dir, files) = small_tree();
+        let p = HashPartition::new(64, HashGranularity::File);
+        let before = p.authority(&ns, files[0]);
+        ns.rename(dir, "f0", ns.root(), "elsewhere").unwrap();
+        let after = p.authority(&ns, files[0]);
+        assert_ne!(before, after, "with 64 buckets a move almost surely rehashes");
+    }
+
+    #[test]
+    fn authority_is_balanced_over_generated_namespace() {
+        let snap = NamespaceSpec { users: 40, seed: 3, ..Default::default() }.generate();
+        let n = 10u16;
+        let p = HashPartition::new(n, HashGranularity::File);
+        let mut counts = vec![0usize; n as usize];
+        let mut total = 0usize;
+        for id in snap.ns.live_ids() {
+            counts[p.authority(&snap.ns, id).index()] += 1;
+            total += 1;
+        }
+        let mean = total / n as usize;
+        for &c in &counts {
+            assert!(
+                c > mean / 2 && c < mean * 2,
+                "file hash should be roughly balanced: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dentry_hash_depends_on_both_inputs() {
+        let a = dentry_hash(InodeId(1), "x", 32);
+        let b = dentry_hash(InodeId(2), "x", 32);
+        let c = dentry_hash(InodeId(1), "y", 32);
+        // Not a strict guarantee per-pair, but these specific values must
+        // differ for the chosen hash; pin them to catch accidental changes.
+        assert!(a != b || a != c, "hash must mix dir and name");
+    }
+
+    #[test]
+    fn dentry_hash_spreads_entries_of_one_directory() {
+        let n = 8u16;
+        let mut counts = vec![0usize; n as usize];
+        for i in 0..4000 {
+            counts[dentry_hash(InodeId(42), &format!("file{i}"), n).index()] += 1;
+        }
+        for &c in &counts {
+            assert!((350..650).contains(&c), "imbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_cluster_rejected() {
+        path_hash("/x", 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Strategy taxonomy shared by the simulator and the experiment harness.
+
+use std::fmt;
+
+/// The five strategies compared in the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Subtree delegation fixed at the initial partition (§3.1.1).
+    StaticSubtree,
+    /// Subtree delegation rebalanced at runtime — the paper's contribution
+    /// (§4).
+    DynamicSubtree,
+    /// Hash of the containing directory's path (§3.1.2).
+    DirHash,
+    /// Hash of the full file path (§3.1.2).
+    FileHash,
+    /// Lazy Hybrid: file-path hashing with dual-entry ACLs (§3.1.3).
+    LazyHybrid,
+}
+
+impl StrategyKind {
+    /// All strategies, in the order the paper's figures list them.
+    pub const ALL: [StrategyKind; 5] = [
+        StrategyKind::StaticSubtree,
+        StrategyKind::DynamicSubtree,
+        StrategyKind::DirHash,
+        StrategyKind::FileHash,
+        StrategyKind::LazyHybrid,
+    ];
+
+    /// The label used in the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            StrategyKind::StaticSubtree => "StaticSubtree",
+            StrategyKind::DynamicSubtree => "DynamicSubtree",
+            StrategyKind::DirHash => "DirHash",
+            StrategyKind::FileHash => "FileHash",
+            StrategyKind::LazyHybrid => "LazyHybrid",
+        }
+    }
+
+    /// Whether this strategy keeps directory contents together and can use
+    /// the embedded-inode directory-object layout (§4.5, §5.3); file-level
+    /// hashing scatters siblings and must use a per-inode table.
+    pub fn embeds_inodes(self) -> bool {
+        match self {
+            StrategyKind::StaticSubtree
+            | StrategyKind::DynamicSubtree
+            | StrategyKind::DirHash => true,
+            StrategyKind::FileHash | StrategyKind::LazyHybrid => false,
+        }
+    }
+
+    /// Whether serving a request requires traversing the prefix directories
+    /// (Lazy Hybrid embeds effective ACLs precisely to skip this).
+    pub fn needs_path_traversal(self) -> bool {
+        !matches!(self, StrategyKind::LazyHybrid)
+    }
+
+    /// Whether the placement follows the hierarchy (subtree strategies) as
+    /// opposed to scattering it by hash.
+    pub fn is_subtree(self) -> bool {
+        matches!(self, StrategyKind::StaticSubtree | StrategyKind::DynamicSubtree)
+    }
+
+    /// Whether the runtime load balancer is active.
+    pub fn rebalances(self) -> bool {
+        matches!(self, StrategyKind::DynamicSubtree)
+    }
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_each_once() {
+        assert_eq!(StrategyKind::ALL.len(), 5);
+        let labels: Vec<&str> = StrategyKind::ALL.iter().map(|k| k.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels, dedup);
+    }
+
+    #[test]
+    fn layout_split_matches_paper() {
+        // §5.3: "the subtree and directory hashing partitioning strategies
+        // exploit the presence of locality … by embedding inodes".
+        assert!(StrategyKind::StaticSubtree.embeds_inodes());
+        assert!(StrategyKind::DynamicSubtree.embeds_inodes());
+        assert!(StrategyKind::DirHash.embeds_inodes());
+        assert!(!StrategyKind::FileHash.embeds_inodes());
+        assert!(!StrategyKind::LazyHybrid.embeds_inodes());
+    }
+
+    #[test]
+    fn traversal_split_matches_paper() {
+        for k in StrategyKind::ALL {
+            assert_eq!(k.needs_path_traversal(), k != StrategyKind::LazyHybrid);
+        }
+    }
+
+    #[test]
+    fn only_dynamic_rebalances() {
+        for k in StrategyKind::ALL {
+            assert_eq!(k.rebalances(), k == StrategyKind::DynamicSubtree);
+        }
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(StrategyKind::DynamicSubtree.to_string(), "DynamicSubtree");
+    }
+}

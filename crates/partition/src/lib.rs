@@ -1,0 +1,102 @@
+//! Metadata partitioning strategies.
+//!
+//! The paper evaluates five ways of distributing a file-system hierarchy
+//! across a metadata-server cluster (§3, §4):
+//!
+//! | Strategy | Placement | Locality | Adapts |
+//! |---|---|---|---|
+//! | `StaticSubtree` | manual/initial subtree delegation | hierarchical | no |
+//! | `DynamicSubtree` | subtree delegation, rebalanced at runtime | hierarchical | yes |
+//! | `DirHash` | hash of containing-directory path | per-directory | via hash |
+//! | `FileHash` | hash of full path | none | via hash |
+//! | `LazyHybrid` | hash of full path + embedded effective ACLs | none | via hash |
+//!
+//! This crate implements the *placement* machinery: the delegation tree
+//! used by the subtree strategies ([`subtree`]), the path-hash placements
+//! ([`hash`]), and Lazy Hybrid's dual-entry ACL with lazy update
+//! propagation ([`lazy`]). The runtime behaviour built on top — load
+//! balancing, replication, traffic control — lives in `dynmds-core`.
+
+pub mod hash;
+pub mod kind;
+pub mod lazy;
+pub mod subtree;
+
+pub use hash::{dentry_hash, path_hash, HashGranularity, HashPartition};
+pub use kind::StrategyKind;
+pub use lazy::{LazyHybrid, LazyUpdateKind, PendingStats};
+pub use subtree::SubtreePartition;
+
+use dynmds_namespace::{InodeId, MdsId, Namespace};
+
+/// A configured placement: answers "who is authoritative for item X".
+pub enum Partition {
+    /// Subtree delegation (static or dynamic — the dynamic strategy
+    /// mutates the delegation table at runtime).
+    Subtree(SubtreePartition),
+    /// Path hashing (directory- or file-granularity).
+    Hash(HashPartition),
+    /// Lazy Hybrid: file-granularity hashing plus lazy ACL updates.
+    LazyHybrid(LazyHybrid),
+}
+
+impl Partition {
+    /// The authoritative MDS for `id`.
+    pub fn authority(&self, ns: &Namespace, id: InodeId) -> MdsId {
+        match self {
+            Partition::Subtree(s) => s.authority(ns, id),
+            Partition::Hash(h) => h.authority(ns, id),
+            Partition::LazyHybrid(l) => l.authority(ns, id),
+        }
+    }
+
+    /// Builds the standard initial placement for `kind` over `ns` with
+    /// `n_mds` servers, as the paper's simulations do (§5.1): subtree
+    /// strategies hash directories near the root across the cluster.
+    pub fn initial(kind: StrategyKind, ns: &Namespace, n_mds: u16) -> Partition {
+        match kind {
+            StrategyKind::StaticSubtree | StrategyKind::DynamicSubtree => {
+                Partition::Subtree(SubtreePartition::initial_near_root(ns, n_mds, 2))
+            }
+            StrategyKind::DirHash => {
+                Partition::Hash(HashPartition::new(n_mds, HashGranularity::Directory))
+            }
+            StrategyKind::FileHash => {
+                Partition::Hash(HashPartition::new(n_mds, HashGranularity::File))
+            }
+            StrategyKind::LazyHybrid => Partition::LazyHybrid(LazyHybrid::new(n_mds)),
+        }
+    }
+
+    /// The subtree table, when this is a subtree partition.
+    pub fn as_subtree_mut(&mut self) -> Option<&mut SubtreePartition> {
+        match self {
+            Partition::Subtree(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The subtree table, immutable.
+    pub fn as_subtree(&self) -> Option<&SubtreePartition> {
+        match self {
+            Partition::Subtree(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Lazy Hybrid state, when applicable.
+    pub fn as_lazy_mut(&mut self) -> Option<&mut LazyHybrid> {
+        match self {
+            Partition::LazyHybrid(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Lazy Hybrid state, immutable.
+    pub fn as_lazy(&self) -> Option<&LazyHybrid> {
+        match self {
+            Partition::LazyHybrid(l) => Some(l),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Anchor table for multiply-linked inodes (§4.5).
+//!
+//! With inodes embedded in directories there is no global inode table, so
+//! an inode reached through a *secondary* hard link has no index to locate
+//! it. The paper's fix: "a global table mapping inode numbers to parent
+//! directory inode numbers, … populat\[ed\] only with multiply-linked inodes
+//! and their ancestor directories. Combined with a reference count of all
+//! such nested items, embedded inodes can be located by recursively
+//! identifying containing directories."
+//!
+//! Each table entry records an inode's parent and a count of anchor chains
+//! passing through it. Anchoring a file adds one to every entry on its
+//! ancestor chain (creating entries as needed); unanchoring reverses that;
+//! a directory rename retargets only the moved entry's parent pointer and
+//! transfers its chain counts — fixed cost in the table regardless of
+//! subtree size, matching the paper's claim that the table "is easily
+//! modified when directories are moved around the hierarchy".
+
+use std::collections::HashMap;
+
+use dynmds_namespace::{InodeId, Namespace};
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    parent: Option<InodeId>,
+    refs: u32,
+}
+
+/// The global anchor table.
+#[derive(Default)]
+pub struct AnchorTable {
+    entries: HashMap<InodeId, Entry>,
+}
+
+impl AnchorTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        AnchorTable::default()
+    }
+
+    /// Number of entries (anchored inodes plus their ancestor directories).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `id` appears in the table.
+    pub fn contains(&self, id: InodeId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// Anchors `id`: records it and every ancestor so the inode can be
+    /// located without a path. Call when a file's link count rises above
+    /// one.
+    pub fn anchor(&mut self, ns: &Namespace, id: InodeId) {
+        let mut cur = id;
+        loop {
+            let parent = ns.parent(cur).ok().flatten();
+            let e = self.entries.entry(cur).or_insert(Entry { parent, refs: 0 });
+            e.refs += 1;
+            // Keep the stored parent fresh in case the subtree moved while
+            // this entry existed for another chain.
+            e.parent = parent;
+            match parent {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+    }
+
+    /// Removes one anchor chain for `id` (link count dropped back to one,
+    /// or the inode died). Entries are removed when their count reaches
+    /// zero. Uses the *stored* parent pointers so it works even after the
+    /// namespace has already forgotten the inode.
+    pub fn unanchor(&mut self, id: InodeId) {
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            match self.entries.get_mut(&c) {
+                Some(e) => {
+                    e.refs -= 1;
+                    let next = e.parent;
+                    if e.refs == 0 {
+                        self.entries.remove(&c);
+                    }
+                    cur = next;
+                }
+                None => break, // chain was never fully anchored; stop
+            }
+        }
+    }
+
+    /// Resolves `id` to its chain of containing directories, nearest
+    /// first, ending at the root. Returns `None` when `id` is not
+    /// anchored.
+    pub fn resolve(&self, id: InodeId) -> Option<Vec<InodeId>> {
+        let mut e = self.entries.get(&id)?;
+        let mut chain = Vec::new();
+        while let Some(p) = e.parent {
+            chain.push(p);
+            e = self.entries.get(&p)?;
+        }
+        Some(chain)
+    }
+
+    /// Updates the table after directory `dir` moved to a new parent. The
+    /// old ancestor chain loses `dir`'s reference counts, the new chain
+    /// (read from `ns`, which must already reflect the move) gains them.
+    /// No-op if `dir` is not in the table.
+    pub fn on_rename(&mut self, ns: &Namespace, dir: InodeId) {
+        let Some(&Entry { parent: old_parent, refs }) = self.entries.get(&dir) else {
+            return;
+        };
+        let new_parent = ns.parent(dir).ok().flatten();
+        if old_parent == new_parent {
+            return;
+        }
+        // Strip `refs` counts from the old chain.
+        let mut cur = old_parent;
+        while let Some(c) = cur {
+            match self.entries.get_mut(&c) {
+                Some(e) => {
+                    e.refs -= refs;
+                    let next = e.parent;
+                    if e.refs == 0 {
+                        self.entries.remove(&c);
+                    }
+                    cur = next;
+                }
+                None => break,
+            }
+        }
+        // Add them along the new chain.
+        self.entries.get_mut(&dir).expect("checked above").parent = new_parent;
+        let mut cur = new_parent;
+        while let Some(c) = cur {
+            let parent = ns.parent(c).ok().flatten();
+            let e = self.entries.entry(c).or_insert(Entry { parent, refs: 0 });
+            e.refs += refs;
+            e.parent = parent;
+            cur = parent;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynmds_namespace::Permissions;
+
+    fn tree() -> (Namespace, InodeId, InodeId, InodeId, InodeId) {
+        // /a/b/f plus /c
+        let mut ns = Namespace::new();
+        let a = ns.mkdir(ns.root(), "a", Permissions::directory(1)).unwrap();
+        let b = ns.mkdir(a, "b", Permissions::directory(1)).unwrap();
+        let f = ns.create_file(b, "f", Permissions::shared(1)).unwrap();
+        let c = ns.mkdir(ns.root(), "c", Permissions::directory(1)).unwrap();
+        (ns, a, b, f, c)
+    }
+
+    #[test]
+    fn anchor_records_full_chain() {
+        let (ns, a, b, f, _) = tree();
+        let mut t = AnchorTable::new();
+        t.anchor(&ns, f);
+        assert!(t.contains(f));
+        assert!(t.contains(b));
+        assert!(t.contains(a));
+        assert!(t.contains(ns.root()));
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.resolve(f).unwrap(), vec![b, a, ns.root()]);
+    }
+
+    #[test]
+    fn unanchor_removes_chain() {
+        let (ns, _, _, f, _) = tree();
+        let mut t = AnchorTable::new();
+        t.anchor(&ns, f);
+        t.unanchor(f);
+        assert!(t.is_empty());
+        assert_eq!(t.resolve(f), None);
+    }
+
+    #[test]
+    fn shared_ancestors_are_counted_not_duplicated() {
+        let (mut ns, a, b, f, _) = tree();
+        let g = ns.create_file(b, "g", Permissions::shared(1)).unwrap();
+        let mut t = AnchorTable::new();
+        t.anchor(&ns, f);
+        t.anchor(&ns, g);
+        assert_eq!(t.len(), 5, "f, g, b, a, root");
+        // Removing one chain keeps the shared ancestors for the other.
+        t.unanchor(f);
+        assert!(!t.contains(f));
+        assert!(t.contains(b));
+        assert_eq!(t.resolve(g).unwrap(), vec![b, a, ns.root()]);
+        t.unanchor(g);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn rename_retargets_chain() {
+        let (mut ns, a, b, f, c) = tree();
+        let mut t = AnchorTable::new();
+        t.anchor(&ns, f);
+        // Move /a/b under /c.
+        ns.rename(a, "b", c, "b").unwrap();
+        t.on_rename(&ns, b);
+        assert_eq!(t.resolve(f).unwrap(), vec![b, c, ns.root()]);
+        assert!(!t.contains(a), "old chain released");
+        assert!(t.contains(c), "new chain anchored");
+    }
+
+    #[test]
+    fn rename_of_untracked_dir_is_noop() {
+        let (mut ns, a, b, _, c) = tree();
+        let mut t = AnchorTable::new();
+        ns.rename(a, "b", c, "b").unwrap();
+        t.on_rename(&ns, b);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn rename_with_multiple_chains_moves_all_counts() {
+        let (mut ns, a, b, f, c) = tree();
+        let g = ns.create_file(b, "g", Permissions::shared(1)).unwrap();
+        let mut t = AnchorTable::new();
+        t.anchor(&ns, f);
+        t.anchor(&ns, g);
+        ns.rename(a, "b", c, "b").unwrap();
+        t.on_rename(&ns, b);
+        assert_eq!(t.resolve(f).unwrap(), vec![b, c, ns.root()]);
+        assert_eq!(t.resolve(g).unwrap(), vec![b, c, ns.root()]);
+        assert!(!t.contains(a));
+        // Both chains removable afterwards.
+        t.unanchor(f);
+        t.unanchor(g);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn double_anchor_same_file_counts_twice() {
+        let (ns, _, _, f, _) = tree();
+        let mut t = AnchorTable::new();
+        t.anchor(&ns, f);
+        t.anchor(&ns, f);
+        t.unanchor(f);
+        assert!(t.contains(f), "second chain still holds it");
+        t.unanchor(f);
+        assert!(t.is_empty());
+    }
+}

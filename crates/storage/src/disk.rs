@@ -1,0 +1,172 @@
+//! Single-device disk model: average latency + transactional throughput.
+//!
+//! Per §5.1 of the paper, the simulator does not model seeks, zones or
+//! caching inside the device. A device is a pipeline with two knobs:
+//!
+//! * `latency` — every access completes no sooner than `latency` after it
+//!   starts being serviced (average positioning + transfer time), and
+//! * `iops` — accesses start at most `iops` per second (transactional
+//!   throughput); excess requests queue.
+
+use dynmds_event::{SimDuration, SimTime};
+
+/// Read or write — tracked separately so experiments can report the
+/// read/write mix hitting the metadata store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Metadata fetch (directory object or inode-table read).
+    Read,
+    /// Journal append or tier-2 writeback.
+    Write,
+}
+
+/// Device parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DiskParams {
+    /// Average per-access latency.
+    pub latency: SimDuration,
+    /// Transactional throughput cap, accesses per second.
+    pub iops: f64,
+}
+
+impl Default for DiskParams {
+    /// A 2004-era commodity drive: ~8 ms average access, ~120 transactions
+    /// per second — the regime the paper's throttled simulations model.
+    fn default() -> Self {
+        DiskParams { latency: SimDuration::from_millis(8), iops: 120.0 }
+    }
+}
+
+impl DiskParams {
+    /// The minimum spacing between access starts implied by the IOPS cap.
+    pub fn service_interval(&self) -> SimDuration {
+        assert!(self.iops > 0.0, "iops must be positive");
+        SimDuration::from_secs_f64(1.0 / self.iops)
+    }
+}
+
+/// Cumulative access counts for one device.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Completed read transactions.
+    pub reads: u64,
+    /// Completed write transactions.
+    pub writes: u64,
+}
+
+impl DiskStats {
+    /// Total transactions.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// One simulated device. Accesses are serialized by the IOPS cap but
+/// overlap in latency (command queuing).
+pub struct DiskModel {
+    params: DiskParams,
+    next_start: SimTime,
+    stats: DiskStats,
+}
+
+impl DiskModel {
+    /// Creates a device with the given parameters.
+    pub fn new(params: DiskParams) -> Self {
+        DiskModel { params, next_start: SimTime::ZERO, stats: DiskStats::default() }
+    }
+
+    /// Submits one access at `now`; returns its completion time.
+    pub fn access(&mut self, now: SimTime, kind: AccessKind) -> SimTime {
+        let start = now.max(self.next_start);
+        self.next_start = start + self.params.service_interval();
+        match kind {
+            AccessKind::Read => self.stats.reads += 1,
+            AccessKind::Write => self.stats.writes += 1,
+        }
+        start + self.params.latency
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    /// The earliest time a new access could start (queue backlog).
+    pub fn next_start(&self) -> SimTime {
+        self.next_start
+    }
+
+    /// Device parameters.
+    pub fn params(&self) -> DiskParams {
+        self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk(latency_ms: u64, iops: f64) -> DiskModel {
+        DiskModel::new(DiskParams { latency: SimDuration::from_millis(latency_ms), iops })
+    }
+
+    #[test]
+    fn idle_access_completes_after_latency() {
+        let mut d = disk(8, 100.0);
+        let done = d.access(SimTime::from_secs(1), AccessKind::Read);
+        assert_eq!(done, SimTime::from_secs(1) + SimDuration::from_millis(8));
+    }
+
+    #[test]
+    fn throughput_cap_spaces_out_starts() {
+        let mut d = disk(8, 100.0); // one start per 10 ms
+        let t0 = SimTime::ZERO;
+        let c1 = d.access(t0, AccessKind::Read);
+        let c2 = d.access(t0, AccessKind::Read);
+        let c3 = d.access(t0, AccessKind::Read);
+        assert_eq!(c1.as_micros(), 8_000);
+        assert_eq!(c2.as_micros(), 18_000, "second starts 10ms after first");
+        assert_eq!(c3.as_micros(), 28_000);
+    }
+
+    #[test]
+    fn queue_drains_when_requests_are_sparse() {
+        let mut d = disk(8, 100.0);
+        d.access(SimTime::ZERO, AccessKind::Read);
+        // 50 ms later the device is idle again.
+        let done = d.access(SimTime::from_millis(50), AccessKind::Read);
+        assert_eq!(done, SimTime::from_millis(58));
+    }
+
+    #[test]
+    fn stats_track_reads_and_writes() {
+        let mut d = disk(8, 100.0);
+        d.access(SimTime::ZERO, AccessKind::Read);
+        d.access(SimTime::ZERO, AccessKind::Write);
+        d.access(SimTime::ZERO, AccessKind::Write);
+        let s = d.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn sustained_rate_matches_iops() {
+        let mut d = disk(1, 200.0);
+        let mut last = SimTime::ZERO;
+        for _ in 0..1000 {
+            last = d.access(SimTime::ZERO, AccessKind::Read);
+        }
+        // 1000 accesses at 200/s take ~5s of device time.
+        let secs = last.as_secs_f64();
+        assert!((4.9..5.2).contains(&secs), "got {secs}");
+    }
+
+    #[test]
+    fn default_params_are_2004_commodity() {
+        let p = DiskParams::default();
+        assert_eq!(p.latency, SimDuration::from_millis(8));
+        assert!((p.iops - 120.0).abs() < f64::EPSILON);
+        assert_eq!(p.service_interval(), SimDuration::from_micros(8_333));
+    }
+}

@@ -1,0 +1,241 @@
+//! Bounded per-MDS update log (storage tier 1).
+//!
+//! §4.6: "We utilize a bounded log structure for the immediate storage of
+//! updates on each metadata server. Entries that fall off the end of the
+//! log without subsequent modifications are written to a second, more
+//! permanent, tier of storage." With a log sized like MDS memory, the log
+//! approximates the node's working set and can preload the cache after a
+//! failure.
+//!
+//! The log records *which inode* each update touched. When an entry is
+//! pushed off the end, it is retired to tier 2 **unless** a newer entry for
+//! the same inode is still in the log (the later modification supersedes
+//! it — write coalescing).
+
+use std::collections::{HashMap, VecDeque};
+
+use dynmds_namespace::InodeId;
+
+/// Bounded update log.
+pub struct BoundedLog {
+    cap: usize,
+    entries: VecDeque<(u64, InodeId)>,
+    /// Latest sequence number per inode still in the log.
+    latest: HashMap<InodeId, u64>,
+    next_seq: u64,
+    appended: u64,
+    retired: u64,
+    coalesced: u64,
+}
+
+impl BoundedLog {
+    /// Creates a log holding at most `cap` entries. `cap` must be > 0.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "journal capacity must be positive");
+        BoundedLog {
+            cap,
+            entries: VecDeque::with_capacity(cap + 1),
+            latest: HashMap::new(),
+            next_seq: 0,
+            appended: 0,
+            retired: 0,
+            coalesced: 0,
+        }
+    }
+
+    /// Appends an update for `id`. Returns the inodes whose entries were
+    /// pushed off the end and must now be written back to tier 2.
+    pub fn append(&mut self, id: InodeId) -> Vec<InodeId> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.appended += 1;
+        self.entries.push_back((seq, id));
+        self.latest.insert(id, seq);
+
+        let mut writebacks = Vec::new();
+        while self.entries.len() > self.cap {
+            let (old_seq, old_id) = self.entries.pop_front().expect("len > cap > 0");
+            match self.latest.get(&old_id) {
+                Some(&s) if s == old_seq => {
+                    // This was the newest record for the inode: retire it.
+                    self.latest.remove(&old_id);
+                    self.retired += 1;
+                    writebacks.push(old_id);
+                }
+                _ => {
+                    // Superseded by a later entry still in the log.
+                    self.coalesced += 1;
+                }
+            }
+        }
+        writebacks
+    }
+
+    /// Whether an update for `id` is still in the log (its tier-2 copy may
+    /// be stale).
+    pub fn contains(&self, id: InodeId) -> bool {
+        self.latest.contains_key(&id)
+    }
+
+    /// Unique inodes currently in the log — the approximate working set
+    /// used to warm the cache on startup/failover (§4.6).
+    pub fn working_set(&self) -> impl Iterator<Item = InodeId> + '_ {
+        self.latest.keys().copied()
+    }
+
+    /// Entries currently in the log (including superseded duplicates).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total appends ever.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Entries retired to tier 2 (each one cost a tier-2 write).
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Entries dropped because a newer update coalesced them.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
+    }
+
+    /// Drains the log as for a clean shutdown, returning every inode that
+    /// still needs a tier-2 writeback.
+    pub fn flush(&mut self) -> Vec<InodeId> {
+        let mut ids: Vec<InodeId> = self.latest.keys().copied().collect();
+        ids.sort(); // deterministic order
+        self.retired += ids.len() as u64;
+        self.coalesced += (self.entries.len() - ids.len()) as u64;
+        self.entries.clear();
+        self.latest.clear();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> InodeId {
+        InodeId(n)
+    }
+
+    #[test]
+    fn appends_within_capacity_retire_nothing() {
+        let mut log = BoundedLog::new(4);
+        for n in 0..4 {
+            assert!(log.append(id(n)).is_empty());
+        }
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.retired(), 0);
+    }
+
+    #[test]
+    fn overflow_retires_oldest() {
+        let mut log = BoundedLog::new(3);
+        log.append(id(1));
+        log.append(id(2));
+        log.append(id(3));
+        let out = log.append(id(4));
+        assert_eq!(out, vec![id(1)]);
+        assert_eq!(log.retired(), 1);
+        assert!(!log.contains(id(1)));
+        assert!(log.contains(id(4)));
+    }
+
+    #[test]
+    fn remodification_coalesces() {
+        let mut log = BoundedLog::new(3);
+        log.append(id(1));
+        log.append(id(2));
+        log.append(id(1)); // supersedes the first entry
+        let out = log.append(id(3)); // pushes the stale id(1) record out
+        assert!(out.is_empty(), "superseded entry must not be written back");
+        assert_eq!(log.coalesced(), 1);
+        assert!(log.contains(id(1)), "newer id(1) entry still in log");
+    }
+
+    #[test]
+    fn working_set_is_unique_inodes() {
+        let mut log = BoundedLog::new(10);
+        log.append(id(1));
+        log.append(id(2));
+        log.append(id(1));
+        let mut ws: Vec<InodeId> = log.working_set().collect();
+        ws.sort();
+        assert_eq!(ws, vec![id(1), id(2)]);
+        assert_eq!(log.len(), 3, "log keeps duplicates; working set dedups");
+    }
+
+    #[test]
+    fn flush_returns_live_entries_once() {
+        let mut log = BoundedLog::new(10);
+        log.append(id(1));
+        log.append(id(2));
+        log.append(id(1));
+        let out = log.flush();
+        assert_eq!(out, vec![id(1), id(2)]);
+        assert!(log.is_empty());
+        assert_eq!(log.retired(), 2);
+        assert_eq!(log.coalesced(), 1);
+        assert!(log.flush().is_empty(), "second flush is a no-op");
+    }
+
+    #[test]
+    fn steady_state_hot_set_never_writes_back() {
+        // A working set smaller than the log, updated round-robin, should
+        // coalesce forever — the paper's rationale for sizing the log like
+        // MDS memory.
+        let mut log = BoundedLog::new(100);
+        let mut writebacks = 0;
+        for i in 0..10_000u64 {
+            writebacks += log.append(id(i % 20)).len();
+        }
+        assert_eq!(writebacks, 0);
+        assert!(log.coalesced() > 9_000);
+    }
+
+    #[test]
+    fn cold_stream_writes_everything_back() {
+        let mut log = BoundedLog::new(10);
+        let mut writebacks = 0;
+        for i in 0..1_000u64 {
+            writebacks += log.append(id(i)).len();
+        }
+        assert_eq!(writebacks, 990, "all but the resident tail retire");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        BoundedLog::new(0);
+    }
+
+    #[test]
+    fn counters_are_consistent() {
+        let mut log = BoundedLog::new(5);
+        for i in 0..100u64 {
+            log.append(id(i % 7));
+        }
+        assert_eq!(log.appended(), 100);
+        assert_eq!(
+            log.retired() + log.coalesced() + log.len() as u64,
+            log.appended(),
+            "every append is either in the log, retired, or coalesced"
+        );
+    }
+}

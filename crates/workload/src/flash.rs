@@ -1,0 +1,306 @@
+//! Scientific-computing bursts and flash crowds (§5.2, §5.4).
+//!
+//! The LLNL trace analysis the paper builds on "found bursts of activity
+//! for which all the nodes access the same file or a set of files in the
+//! same directory". Two generators model that:
+//!
+//! * [`FlashCrowd`] — the Figure 7 stress: every client requests the same
+//!   file (open, then repeat stats as results stream back),
+//! * [`ScientificWorkload`] — alternating independent phases and
+//!   synchronized bursts (same-file opens or same-directory creates).
+
+use dynmds_event::{SimDuration, SimRng, SimTime};
+use dynmds_namespace::{ClientId, InodeId, Namespace};
+
+use crate::ops::Op;
+use crate::Workload;
+
+/// All clients hammer one file. Each client's first op is `Open`; later
+/// ops re-`Stat` the same file (checkpoint polling).
+pub struct FlashCrowd {
+    target: InodeId,
+    n_clients: usize,
+    issued_open: Vec<bool>,
+}
+
+impl FlashCrowd {
+    /// A crowd of `n_clients` all targeting `target`.
+    pub fn new(target: InodeId, n_clients: usize) -> Self {
+        assert!(n_clients > 0, "need at least one client");
+        FlashCrowd { target, n_clients, issued_open: vec![false; n_clients] }
+    }
+
+    /// The shared target.
+    pub fn target(&self) -> InodeId {
+        self.target
+    }
+}
+
+impl Workload for FlashCrowd {
+    fn next_op(&mut self, _ns: &Namespace, client: ClientId, _now: SimTime) -> Op {
+        let first = !self.issued_open[client.index()];
+        if first {
+            self.issued_open[client.index()] = true;
+            Op::Open(self.target)
+        } else {
+            Op::Stat(self.target)
+        }
+    }
+
+    fn clients(&self) -> usize {
+        self.n_clients
+    }
+}
+
+/// All clients hammer one file with *writes*: an N-to-1 checkpoint, the
+/// other LLNL burst shape. Each client opens once, then streams `SetAttr`
+/// updates (size/mtime growth) at the shared target.
+pub struct WriteCrowd {
+    target: InodeId,
+    n_clients: usize,
+    issued_open: Vec<bool>,
+}
+
+impl WriteCrowd {
+    /// A write crowd of `n_clients` targeting `target`.
+    pub fn new(target: InodeId, n_clients: usize) -> Self {
+        assert!(n_clients > 0, "need at least one client");
+        WriteCrowd { target, n_clients, issued_open: vec![false; n_clients] }
+    }
+
+    /// The shared target.
+    pub fn target(&self) -> InodeId {
+        self.target
+    }
+}
+
+impl Workload for WriteCrowd {
+    fn next_op(&mut self, _ns: &Namespace, client: ClientId, _now: SimTime) -> Op {
+        let first = !self.issued_open[client.index()];
+        if first {
+            self.issued_open[client.index()] = true;
+            Op::Open(self.target)
+        } else {
+            Op::SetAttr(self.target)
+        }
+    }
+
+    fn clients(&self) -> usize {
+        self.n_clients
+    }
+}
+
+/// What a synchronized burst does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BurstKind {
+    /// Every node opens the same file (checkpoint read-back).
+    OpenSameFile,
+    /// Every node creates files in the same directory (N-to-1 checkpoint
+    /// write).
+    CreateInSharedDir,
+}
+
+/// Scientific workload: independent activity punctuated by synchronized
+/// bursts against shared targets.
+pub struct ScientificWorkload {
+    /// Per-client home regions for the independent phases.
+    regions: Vec<InodeId>,
+    /// Candidate burst targets: directories in shared project trees.
+    shared_dirs: Vec<InodeId>,
+    period: SimDuration,
+    burst_len: SimDuration,
+    n_clients: usize,
+    rngs: Vec<SimRng>,
+    create_seqs: Vec<u64>,
+}
+
+impl ScientificWorkload {
+    /// Creates the workload. Bursts occupy the first `burst_len` of every
+    /// `period`; burst `k` alternates kind and picks its shared target
+    /// deterministically.
+    pub fn new(
+        seed: u64,
+        n_clients: usize,
+        regions: &[InodeId],
+        shared_dirs: &[InodeId],
+        period: SimDuration,
+        burst_len: SimDuration,
+    ) -> Self {
+        assert!(n_clients > 0, "need at least one client");
+        assert!(!regions.is_empty(), "need regions");
+        assert!(!shared_dirs.is_empty(), "need shared burst targets");
+        assert!(burst_len <= period, "burst must fit in the period");
+        let mut root = SimRng::seed_from_u64(seed);
+        let rngs = (0..n_clients).map(|i| root.fork(i as u64)).collect();
+        ScientificWorkload {
+            regions: regions.to_vec(),
+            shared_dirs: shared_dirs.to_vec(),
+            period,
+            burst_len,
+            n_clients,
+            rngs,
+            create_seqs: vec![0; n_clients],
+        }
+    }
+
+    /// Which burst window `now` falls into, if any.
+    pub fn burst_at(&self, now: SimTime) -> Option<(u64, BurstKind)> {
+        let p = self.period.as_micros();
+        let idx = now.as_micros() / p;
+        let offset = now.as_micros() % p;
+        if offset < self.burst_len.as_micros() {
+            let kind = if idx.is_multiple_of(2) {
+                BurstKind::OpenSameFile
+            } else {
+                BurstKind::CreateInSharedDir
+            };
+            Some((idx, kind))
+        } else {
+            None
+        }
+    }
+
+    /// Deterministic shared target for burst `idx`: a directory from the
+    /// shared trees; for open-bursts, its first file child (or the dir
+    /// itself when it has none).
+    fn burst_target(&self, ns: &Namespace, idx: u64, kind: BurstKind) -> InodeId {
+        let dir = self.shared_dirs[(idx as usize) % self.shared_dirs.len()];
+        match kind {
+            BurstKind::CreateInSharedDir => dir,
+            BurstKind::OpenSameFile => ns
+                .children(dir)
+                .ok()
+                .and_then(|mut it| it.find(|&(_, c)| !ns.is_dir(c)))
+                .map(|(_, c)| c)
+                .unwrap_or(dir),
+        }
+    }
+}
+
+impl Workload for ScientificWorkload {
+    fn next_op(&mut self, ns: &Namespace, client: ClientId, now: SimTime) -> Op {
+        let i = client.index();
+        if let Some((idx, kind)) = self.burst_at(now) {
+            let target = self.burst_target(ns, idx, kind);
+            return match kind {
+                BurstKind::OpenSameFile => Op::Open(target),
+                BurstKind::CreateInSharedDir => {
+                    self.create_seqs[i] += 1;
+                    Op::Create {
+                        dir: target,
+                        name: format!("ckpt{}_{}_{}", idx, client.0, self.create_seqs[i]),
+                    }
+                }
+            };
+        }
+        // Independent phase: read around the client's own region.
+        let region = self.regions[i % self.regions.len()];
+        let rng = &mut self.rngs[i];
+        let mut cur = region;
+        for _ in 0..6 {
+            let kids: Vec<InodeId> = match ns.children(cur) {
+                Ok(it) => it.map(|(_, c)| c).collect(),
+                Err(_) => break,
+            };
+            if kids.is_empty() {
+                break;
+            }
+            let pick = kids[rng.below(kids.len() as u64) as usize];
+            if !ns.is_dir(pick) {
+                return Op::Stat(pick);
+            }
+            cur = pick;
+        }
+        Op::Readdir(cur)
+    }
+
+    fn clients(&self) -> usize {
+        self.n_clients
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynmds_namespace::NamespaceSpec;
+
+    #[test]
+    fn flash_crowd_opens_then_stats() {
+        let mut fc = FlashCrowd::new(InodeId(7), 3);
+        let ns = Namespace::new();
+        assert_eq!(fc.next_op(&ns, ClientId(0), SimTime::ZERO), Op::Open(InodeId(7)));
+        assert_eq!(fc.next_op(&ns, ClientId(0), SimTime::ZERO), Op::Stat(InodeId(7)));
+        assert_eq!(fc.next_op(&ns, ClientId(1), SimTime::ZERO), Op::Open(InodeId(7)));
+        assert_eq!(fc.clients(), 3);
+        assert_eq!(fc.target(), InodeId(7));
+    }
+
+    fn sci() -> (Namespace, ScientificWorkload) {
+        let snap = NamespaceSpec { users: 6, seed: 3, ..Default::default() }.generate();
+        let wl = ScientificWorkload::new(
+            9,
+            6,
+            &snap.user_homes,
+            &snap.shared_roots,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(2),
+        );
+        (snap.ns, wl)
+    }
+
+    #[test]
+    fn burst_windows_alternate_kinds() {
+        let (_, wl) = sci();
+        assert_eq!(wl.burst_at(SimTime::from_secs(1)).unwrap().1, BurstKind::OpenSameFile);
+        assert_eq!(wl.burst_at(SimTime::from_secs(5)), None, "outside window");
+        assert_eq!(
+            wl.burst_at(SimTime::from_secs(11)).unwrap().1,
+            BurstKind::CreateInSharedDir
+        );
+        assert_eq!(wl.burst_at(SimTime::from_secs(21)).unwrap().1, BurstKind::OpenSameFile);
+    }
+
+    #[test]
+    fn open_burst_targets_one_file_for_all_clients() {
+        let (ns, mut wl) = sci();
+        let t = SimTime::from_secs(1);
+        let ops: Vec<Op> = (0..6).map(|i| wl.next_op(&ns, ClientId(i), t)).collect();
+        let first = match &ops[0] {
+            Op::Open(f) => *f,
+            other => panic!("expected open, got {other:?}"),
+        };
+        for op in &ops {
+            assert_eq!(*op, Op::Open(first), "all clients hit the same file");
+        }
+    }
+
+    #[test]
+    fn create_burst_targets_one_directory() {
+        let (ns, mut wl) = sci();
+        let t = SimTime::from_secs(11);
+        let mut dirs = std::collections::HashSet::new();
+        for i in 0..6 {
+            match wl.next_op(&ns, ClientId(i), t) {
+                Op::Create { dir, name } => {
+                    dirs.insert(dir);
+                    assert!(name.starts_with("ckpt1_"));
+                }
+                other => panic!("expected create, got {other:?}"),
+            }
+        }
+        assert_eq!(dirs.len(), 1, "one shared directory");
+    }
+
+    #[test]
+    fn independent_phase_spreads_across_regions() {
+        let (ns, mut wl) = sci();
+        let t = SimTime::from_secs(5); // outside burst
+        let mut targets = std::collections::HashSet::new();
+        for i in 0..6 {
+            for _ in 0..10 {
+                targets.insert(wl.next_op(&ns, ClientId(i), t).target());
+            }
+        }
+        assert!(targets.len() > 6, "independent activity should scatter");
+    }
+}

@@ -1,0 +1,157 @@
+//! The Figure 5/6 workload-shift scenario.
+//!
+//! "After a short time, about half of the clients change their local
+//! region of activity and create new files in portions of the hierarchy
+//! served by a single MDS." This wrapper delegates to a
+//! [`GeneralWorkload`] and performs that migration the first time the
+//! clock passes `shift_at`.
+
+use dynmds_event::SimTime;
+use dynmds_namespace::{ClientId, InodeId, Namespace};
+
+use crate::general::GeneralWorkload;
+use crate::ops::{Op, OpMix};
+use crate::Workload;
+
+/// General-purpose workload with a one-time mid-run migration.
+pub struct ShiftingWorkload {
+    base: GeneralWorkload,
+    shift_at: SimTime,
+    /// Clients that migrate (e.g. every other client).
+    movers: Vec<ClientId>,
+    /// Destination regions — the subtrees one MDS serves; movers spread
+    /// over them round-robin.
+    destinations: Vec<InodeId>,
+    shifted: bool,
+}
+
+impl ShiftingWorkload {
+    /// Wraps `base`; at `shift_at`, `movers` relocate into `destinations`
+    /// with a create-heavy mix.
+    pub fn new(
+        base: GeneralWorkload,
+        shift_at: SimTime,
+        movers: Vec<ClientId>,
+        destinations: Vec<InodeId>,
+    ) -> Self {
+        assert!(!destinations.is_empty(), "need at least one destination");
+        ShiftingWorkload { base, shift_at, movers, destinations, shifted: false }
+    }
+
+    /// Whether the migration has happened yet.
+    pub fn shifted(&self) -> bool {
+        self.shifted
+    }
+
+    /// The wrapped workload.
+    pub fn base(&self) -> &GeneralWorkload {
+        &self.base
+    }
+
+    fn maybe_shift(&mut self, now: SimTime) {
+        if self.shifted || now < self.shift_at {
+            return;
+        }
+        self.shifted = true;
+        for (i, &c) in self.movers.iter().enumerate() {
+            let dest = self.destinations[i % self.destinations.len()];
+            self.base.relocate(c, dest, OpMix::create_heavy());
+        }
+    }
+}
+
+impl Workload for ShiftingWorkload {
+    fn next_op(&mut self, ns: &Namespace, client: ClientId, now: SimTime) -> Op {
+        self.maybe_shift(now);
+        self.base.next_op(ns, client, now)
+    }
+
+    fn clients(&self) -> usize {
+        self.base.clients()
+    }
+
+    fn uid_of(&self, client: ClientId) -> u32 {
+        self.base.uid_of(client)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::general::WorkloadConfig;
+    use crate::ops::OpKind;
+    use dynmds_namespace::NamespaceSpec;
+
+    fn setup() -> (Namespace, ShiftingWorkload, InodeId) {
+        let snap = NamespaceSpec { users: 8, seed: 11, ..Default::default() }.generate();
+        let base = GeneralWorkload::new(
+            WorkloadConfig::default(),
+            8,
+            &snap.user_homes,
+            &snap.shared_roots,
+            &snap.ns,
+        );
+        let dest = snap.user_homes[0];
+        let movers = (0..8).filter(|i| i % 2 == 0).map(ClientId).collect();
+        let wl = ShiftingWorkload::new(base, SimTime::from_secs(10), movers, vec![dest]);
+        (snap.ns, wl, dest)
+    }
+
+    #[test]
+    fn no_shift_before_deadline() {
+        let (ns, mut wl, dest) = setup();
+        for i in 0..100 {
+            wl.next_op(&ns, ClientId(i % 8), SimTime::from_secs(5));
+        }
+        assert!(!wl.shifted());
+        assert_ne!(wl.base().region_of(ClientId(2)), dest);
+    }
+
+    #[test]
+    fn shift_relocates_movers_only() {
+        let (ns, mut wl, dest) = setup();
+        wl.next_op(&ns, ClientId(0), SimTime::from_secs(10));
+        assert!(wl.shifted());
+        for i in 0..8u32 {
+            let region = wl.base().region_of(ClientId(i));
+            if i % 2 == 0 {
+                assert_eq!(region, dest, "mover {i} relocated");
+            } else {
+                assert_ne!(region, dest, "stayer {i} untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn movers_become_create_heavy() {
+        let (ns, mut wl, _) = setup();
+        let creates = (0..1000)
+            .filter(|_| {
+                matches!(
+                    wl.next_op(&ns, ClientId(0), SimTime::from_secs(20)).kind(),
+                    OpKind::Create | OpKind::Mkdir
+                )
+            })
+            .count();
+        assert!(creates > 300, "got {creates}");
+    }
+
+    #[test]
+    fn shift_happens_once() {
+        let (ns, mut wl, dest) = setup();
+        wl.next_op(&ns, ClientId(0), SimTime::from_secs(10));
+        // Manually relocate a mover elsewhere; a later tick must not
+        // re-migrate it.
+        let other = wl.base().region_of(ClientId(1));
+        let _ = other;
+        wl.next_op(&ns, ClientId(2), SimTime::from_secs(30));
+        assert_eq!(wl.base().region_of(ClientId(2)), dest);
+        assert!(wl.shifted());
+    }
+
+    #[test]
+    fn clients_passthrough() {
+        let (_, wl, _) = setup();
+        assert_eq!(wl.clients(), 8);
+    }
+}

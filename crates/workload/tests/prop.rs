@@ -1,0 +1,104 @@
+//! Property tests: workload generators produce valid, deterministic
+//! operation streams on arbitrary snapshots.
+
+use dynmds_event::{SimDuration, SimTime};
+use dynmds_namespace::{ClientId, NamespaceSpec};
+use dynmds_workload::{
+    FlashCrowd, GeneralWorkload, Op, ScientificWorkload, Workload, WorkloadConfig, WriteCrowd,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every generated op targets a live inode, for any seed combination.
+    #[test]
+    fn general_ops_always_valid(snap_seed in 0u64..200, wl_seed in 0u64..200, n_clients in 1usize..12) {
+        let snap = NamespaceSpec { users: 4, seed: snap_seed, ..Default::default() }.generate();
+        let mut wl = GeneralWorkload::new(
+            WorkloadConfig { seed: wl_seed, ..Default::default() },
+            n_clients,
+            &snap.user_homes,
+            &snap.shared_roots,
+            &snap.ns,
+        );
+        for i in 0..300u32 {
+            let client = ClientId(i % n_clients as u32);
+            let op = wl.next_op(&snap.ns, client, SimTime::from_micros(i as u64));
+            prop_assert!(snap.ns.is_alive(op.target()), "{op:?} targets a dead inode");
+            // Namespace ops name directories as their anchor.
+            if let Op::Create { dir, .. } | Op::Mkdir { dir, .. } = &op {
+                prop_assert!(snap.ns.is_dir(*dir));
+            }
+        }
+    }
+
+    /// Same seeds → identical stream; different workload seeds diverge.
+    #[test]
+    fn general_is_deterministic_per_seed(snap_seed in 0u64..100, wl_seed in 0u64..100) {
+        let snap = NamespaceSpec { users: 4, seed: snap_seed, ..Default::default() }.generate();
+        let mk = |s: u64| GeneralWorkload::new(
+            WorkloadConfig { seed: s, ..Default::default() },
+            4,
+            &snap.user_homes,
+            &snap.shared_roots,
+            &snap.ns,
+        );
+        let mut a = mk(wl_seed);
+        let mut b = mk(wl_seed);
+        let mut c = mk(wl_seed.wrapping_add(1));
+        let mut diverged = false;
+        for i in 0..200u32 {
+            let client = ClientId(i % 4);
+            let oa = a.next_op(&snap.ns, client, SimTime::ZERO);
+            let ob = b.next_op(&snap.ns, client, SimTime::ZERO);
+            prop_assert_eq!(&oa, &ob, "same seed must match");
+            if oa != c.next_op(&snap.ns, client, SimTime::ZERO) {
+                diverged = true;
+            }
+        }
+        prop_assert!(diverged, "different seeds should diverge somewhere");
+    }
+
+    /// Crowd workloads: exactly one open per client, then steady repeats
+    /// of the same target.
+    #[test]
+    fn crowds_open_once_then_repeat(n in 1usize..50) {
+        let ns = dynmds_namespace::Namespace::new();
+        let target = ns.root();
+        let mut fc = FlashCrowd::new(target, n);
+        let mut wc = WriteCrowd::new(target, n);
+        for c in 0..n as u32 {
+            prop_assert_eq!(fc.next_op(&ns, ClientId(c), SimTime::ZERO), Op::Open(target));
+            prop_assert_eq!(wc.next_op(&ns, ClientId(c), SimTime::ZERO), Op::Open(target));
+        }
+        for c in 0..n as u32 {
+            prop_assert_eq!(fc.next_op(&ns, ClientId(c), SimTime::ZERO), Op::Stat(target));
+            prop_assert_eq!(wc.next_op(&ns, ClientId(c), SimTime::ZERO), Op::SetAttr(target));
+        }
+    }
+
+    /// Scientific bursts are synchronized: inside a burst window all
+    /// clients aim at one target; outside, activity scatters.
+    #[test]
+    fn scientific_bursts_synchronize(seed in 0u64..100) {
+        let snap = NamespaceSpec { users: 6, seed, ..Default::default() }.generate();
+        let mut wl = ScientificWorkload::new(
+            seed ^ 1,
+            6,
+            &snap.user_homes,
+            &snap.shared_roots,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(2),
+        );
+        let burst_t = SimTime::from_secs(1);
+        let targets: std::collections::HashSet<_> = (0..6)
+            .map(|c| wl.next_op(&snap.ns, ClientId(c), burst_t).target())
+            .collect();
+        prop_assert_eq!(targets.len(), 1, "burst targets one item");
+        for i in 0..100u32 {
+            let op = wl.next_op(&snap.ns, ClientId(i % 6), SimTime::from_secs(5));
+            prop_assert!(snap.ns.is_alive(op.target()));
+        }
+    }
+}

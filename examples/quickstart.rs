@@ -1,0 +1,70 @@
+//! Quickstart: build a namespace, run a small dynamic-subtree MDS cluster
+//! under a general-purpose workload, and print what happened.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dynmds::core::{SimConfig, Simulation};
+use dynmds::event::SimDuration;
+use dynmds::namespace::NamespaceSpec;
+use dynmds::partition::StrategyKind;
+use dynmds::workload::{GeneralWorkload, WorkloadConfig};
+
+fn main() {
+    // 1. A synthetic snapshot: 48 home directories, ~10k metadata items.
+    let spec = NamespaceSpec::with_target_items(48, 10_000, 42);
+    let snapshot = spec.generate();
+    let stats = snapshot.stats();
+    println!(
+        "namespace: {} files, {} dirs, max depth {}, {:.1} files/dir",
+        stats.files, stats.dirs, stats.max_depth, stats.mean_files_per_dir
+    );
+
+    // 2. A 4-server cluster running dynamic subtree partitioning with
+    //    load balancing and traffic control enabled.
+    let mut cfg = SimConfig::small(StrategyKind::DynamicSubtree);
+    cfg.n_clients = 48;
+    println!(
+        "cluster: {} MDS nodes, {} clients, {} inode cache per node",
+        cfg.n_mds, cfg.n_clients, cfg.cache_capacity
+    );
+
+    // 3. A general-purpose workload: stat-dominated, open/close pairs,
+    //    readdir→stat bursts, strong directory locality.
+    let workload = Box::new(GeneralWorkload::new(
+        WorkloadConfig::default(),
+        cfg.n_clients as usize,
+        &snapshot.user_homes,
+        &snapshot.shared_roots,
+        &snapshot.ns,
+    ));
+
+    // 4. Run 5 virtual seconds of warm-up, then measure 15.
+    let sim = Simulation::new(cfg, snapshot, workload);
+    let report = sim.run_measured(SimDuration::from_secs(5), SimDuration::from_secs(15));
+
+    // 5. Results.
+    println!("\nmeasured {:.0} s of virtual time:", report.span_secs());
+    println!("  total ops served      : {}", report.total_served());
+    println!("  per-MDS throughput    : {:.0} ops/s", report.avg_mds_throughput());
+    println!("  cache hit rate        : {:.1} %", report.overall_hit_rate() * 100.0);
+    println!("  prefix share of cache : {:.1} %", report.mean_prefix_pct());
+    println!(
+        "  mean client latency   : {:.2} ms",
+        report.latency.mean().unwrap_or(0.0) * 1e3
+    );
+    println!(
+        "  forwarded requests    : {:.1} %",
+        100.0 * report.total_forwarded() as f64 / report.total_received().max(1) as f64
+    );
+    for (i, n) in report.nodes.iter().enumerate() {
+        println!(
+            "  mds{i}: served {:>6}  hit {:>5.1}%  cache {:>4} items  ({} prefix-only)",
+            n.served,
+            n.hit_rate * 100.0,
+            n.cache_len,
+            (n.prefix_fraction * n.cache_len as f64) as u64,
+        );
+    }
+}

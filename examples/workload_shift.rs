@@ -1,0 +1,100 @@
+//! Workload-shift demo (§5.3.2 / Figure 5): half the clients migrate into
+//! one server's territory mid-run; dynamic subtree partitioning rebalances
+//! while a static partition saturates the unlucky node.
+//!
+//! ```text
+//! cargo run --release --example workload_shift
+//! ```
+
+use dynmds::core::{SimConfig, SimReport, Simulation};
+use dynmds::event::{SimDuration, SimTime};
+use dynmds::namespace::{ClientId, NamespaceSpec};
+use dynmds::partition::{StrategyKind, SubtreePartition};
+use dynmds::workload::{GeneralWorkload, ShiftingWorkload, WorkloadConfig};
+
+const N_MDS: u16 = 6;
+const N_CLIENTS: u32 = 48;
+const SHIFT_AT_SECS: u64 = 10;
+const END_SECS: u64 = 35;
+
+fn run(strategy: StrategyKind) -> SimReport {
+    let mut cfg = SimConfig::small(strategy);
+    cfg.n_mds = N_MDS;
+    cfg.n_clients = N_CLIENTS;
+    cfg.seed = 99;
+
+    // Active homes for the clients plus dormant homes that become the
+    // migration destination.
+    let snapshot =
+        NamespaceSpec::with_target_items(N_CLIENTS as usize + 24, 15_000, 5).generate();
+    let active = &snapshot.user_homes[..N_CLIENTS as usize];
+    let reserve = &snapshot.user_homes[N_CLIENTS as usize..];
+
+    // Destination: dormant homes that one single MDS serves.
+    let preview = SubtreePartition::initial_near_root(&snapshot.ns, N_MDS, 2);
+    let victim = preview.authority(&snapshot.ns, reserve[0]);
+    let destinations: Vec<_> = reserve
+        .iter()
+        .copied()
+        .filter(|&h| preview.authority(&snapshot.ns, h) == victim)
+        .collect();
+
+    let base = GeneralWorkload::new(
+        WorkloadConfig { seed: 13, ..Default::default() },
+        N_CLIENTS as usize,
+        active,
+        &snapshot.shared_roots,
+        &snapshot.ns,
+    );
+    let movers: Vec<ClientId> = (0..N_CLIENTS).filter(|c| c % 2 == 0).map(ClientId).collect();
+    let workload = Box::new(ShiftingWorkload::new(
+        base,
+        SimTime::from_secs(SHIFT_AT_SECS),
+        movers,
+        destinations,
+    ));
+
+    let mut sim = Simulation::new(cfg, snapshot, workload);
+    sim.run_until(SimTime::from_secs(END_SECS));
+    sim.finish()
+}
+
+fn main() {
+    println!(
+        "{N_CLIENTS} clients on {N_MDS} servers; at t={SHIFT_AT_SECS}s half of them migrate\n\
+         into dormant territory served by ONE node and start creating files.\n"
+    );
+    let dynamic = run(StrategyKind::DynamicSubtree);
+    let static_ = run(StrategyKind::StaticSubtree);
+
+    let bin = SimDuration::from_secs(2);
+    println!("per-MDS throughput (ops/s), min..max across nodes:");
+    println!("  t(s)   dynamic              static");
+    let d = dynamic.throughput_range_series(bin);
+    let s = static_.throughput_range_series(bin);
+    for (dp, sp) in d.iter().zip(s.iter()) {
+        println!(
+            "  {:>4.0}   {:>5.0} .. {:<6.0}      {:>5.0} .. {:<6.0}",
+            dp.0.as_secs_f64(),
+            dp.1,
+            dp.3,
+            sp.1,
+            sp.3
+        );
+    }
+
+    println!("\nforwarded-request fraction (client route rediscovery):");
+    let df = dynamic.forward_fraction_series(bin);
+    let sf = static_.forward_fraction_series(bin);
+    println!("  t(s)   dynamic  static");
+    for (dp, sp) in df.iter().zip(sf.iter()) {
+        println!("  {:>4.0}   {:>7.3}  {:>6.3}", dp.0.as_secs_f64(), dp.1, sp.1);
+    }
+
+    println!(
+        "\nThe static partition leaves one node saturated (wide min..max range)\n\
+         while dynamic subtree partitioning re-delegates the hot subtrees —\n\
+         at the cost of the elevated forward fraction while clients rediscover\n\
+         migrated metadata (Figures 5 and 6)."
+    );
+}

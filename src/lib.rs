@@ -1,0 +1,48 @@
+//! Facade crate re-exporting the dynmds workspace public API.
+//!
+//! # Quick example
+//!
+//! ```
+//! use dynmds::core::{SimConfig, Simulation};
+//! use dynmds::event::SimDuration;
+//! use dynmds::namespace::NamespaceSpec;
+//! use dynmds::partition::StrategyKind;
+//! use dynmds::workload::{GeneralWorkload, WorkloadConfig};
+//!
+//! // A small namespace, a 4-node dynamic-subtree cluster, a general
+//! // workload, one virtual second of warm-up and two measured.
+//! let snapshot = NamespaceSpec::with_target_items(12, 2_000, 1).generate();
+//! let cfg = SimConfig::small(StrategyKind::DynamicSubtree);
+//! let workload = Box::new(GeneralWorkload::new(
+//!     WorkloadConfig::default(),
+//!     cfg.n_clients as usize,
+//!     &snapshot.user_homes,
+//!     &snapshot.shared_roots,
+//!     &snapshot.ns,
+//! ));
+//! let report = Simulation::new(cfg, snapshot, workload)
+//!     .run_measured(SimDuration::from_secs(1), SimDuration::from_secs(2));
+//! assert!(report.total_served() > 0);
+//! assert!(report.overall_hit_rate() > 0.0);
+//! ```
+//!
+//! See the individual crates for detail:
+//! * [`event`] — discrete-event engine
+//! * [`namespace`] — file-system model and snapshot generator
+//! * [`storage`] — simulated disk, journal, and directory-object store
+//! * [`cache`] — LRU metadata cache with prefix pinning
+//! * [`partition`] — the five metadata partitioning strategies
+//! * [`core`] — MDS cluster simulator (the paper's contribution)
+//! * [`workload`] — synthetic workload generators
+//! * [`metrics`] — measurement and reporting
+//! * [`harness`] — per-figure experiment runners
+
+pub use dynmds_cache as cache;
+pub use dynmds_core as core;
+pub use dynmds_event as event;
+pub use dynmds_harness as harness;
+pub use dynmds_metrics as metrics;
+pub use dynmds_namespace as namespace;
+pub use dynmds_partition as partition;
+pub use dynmds_storage as storage;
+pub use dynmds_workload as workload;

@@ -1,0 +1,137 @@
+//! Integration tests: MDS failure and recovery with shared-storage
+//! takeover and journal-based cache warming (§2.1.2, §4.6).
+
+use dynmds::core::{SimConfig, Simulation};
+use dynmds::event::SimTime;
+use dynmds::namespace::{MdsId, NamespaceSpec};
+use dynmds::partition::StrategyKind;
+use dynmds::workload::{GeneralWorkload, WorkloadConfig};
+
+fn sim(strategy: StrategyKind) -> Simulation {
+    let mut cfg = SimConfig::small(strategy);
+    cfg.n_mds = 4;
+    cfg.n_clients = 32;
+    cfg.seed = 55;
+    let snap = NamespaceSpec::with_target_items(32, 8_000, 5).generate();
+    let wl = Box::new(GeneralWorkload::new(
+        WorkloadConfig { seed: 56, ..Default::default() },
+        32,
+        &snap.user_homes,
+        &snap.shared_roots,
+        &snap.ns,
+    ));
+    Simulation::new(cfg, snap, wl)
+}
+
+#[test]
+fn cluster_survives_a_node_failure() {
+    for strategy in [StrategyKind::DynamicSubtree, StrategyKind::FileHash] {
+        let mut s = sim(strategy);
+        s.schedule_failure(SimTime::from_secs(5), MdsId(1));
+        s.run_until(SimTime::from_secs(8));
+        let served_mid = {
+            let r = s.cluster();
+            r.nodes.iter().map(|n| n.life.served).sum::<u64>()
+        };
+        s.run_until(SimTime::from_secs(14));
+        let cluster = s.cluster();
+        let served_end: u64 = cluster.nodes.iter().map(|n| n.life.served).sum();
+        assert!(
+            served_end > served_mid + 1_000,
+            "{strategy}: cluster must keep serving after the failure"
+        );
+        assert_eq!(cluster.failures, 1);
+        assert!(!cluster.is_alive_node(MdsId(1)));
+        assert_eq!(cluster.live_nodes(), 3);
+    }
+}
+
+#[test]
+fn dead_node_serves_nothing_and_survivors_take_over() {
+    let mut s = sim(StrategyKind::DynamicSubtree);
+    // Let it warm up so mds1 is actually serving beforehand.
+    s.run_until(SimTime::from_secs(5));
+    let before = s.cluster().nodes[1].life.served;
+    assert!(before > 0, "mds1 must have been active");
+    s.cluster_mut().fail_node(SimTime::from_secs(5), MdsId(1));
+    s.run_until(SimTime::from_secs(12));
+    let cluster = s.cluster();
+    let after = cluster.nodes[1].life.served;
+    assert_eq!(after, before, "a dead node serves nothing");
+    // Its subtrees now belong to live nodes.
+    let sub = cluster.partition.as_subtree().expect("subtree strategy");
+    for (_, m) in sub.delegations() {
+        assert_ne!(m, MdsId(1), "no delegation may point at the dead node");
+    }
+    // Some requests hit the dead host and were re-driven.
+    assert!(cluster.failover_timeouts > 0, "stale client routes must time out");
+}
+
+#[test]
+fn heirs_warm_their_caches_from_the_shared_journal() {
+    let mut s = sim(StrategyKind::DynamicSubtree);
+    s.run_until(SimTime::from_secs(6));
+    // mds1's journal approximates its working set; remember its size.
+    let ws: Vec<_> = s.cluster().nodes[1].journal.working_set().collect();
+    assert!(!ws.is_empty(), "journal must hold the working set");
+    s.cluster_mut().fail_node(SimTime::from_secs(6), MdsId(1));
+    let cluster = s.cluster();
+    assert_eq!(cluster.nodes[1].cache.len(), 0, "RAM is lost");
+    // The working set recorded in the shared journal is now cached at the
+    // live authorities that inherited those subtrees.
+    let mut checked = 0;
+    let mut warmed = 0;
+    for &id in &ws {
+        if !cluster.ns.is_alive(id) {
+            continue;
+        }
+        let heir = cluster.live_authority(cluster.authority_of(id));
+        checked += 1;
+        if cluster.nodes[heir.index()].cache.peek(id) {
+            warmed += 1;
+        }
+    }
+    assert!(checked > 0);
+    assert!(
+        warmed * 2 > checked,
+        "most of the inherited working set should be preloaded: {warmed}/{checked}"
+    );
+}
+
+#[test]
+fn recovery_rejoins_and_rebalances() {
+    let mut s = sim(StrategyKind::DynamicSubtree);
+    s.schedule_failure(SimTime::from_secs(4), MdsId(2));
+    s.schedule_recovery(SimTime::from_secs(10), MdsId(2));
+    s.run_until(SimTime::from_secs(10));
+    let at_recovery = s.cluster().nodes[2].life.served;
+    s.run_until(SimTime::from_secs(30));
+    let cluster = s.cluster();
+    assert!(cluster.is_alive_node(MdsId(2)));
+    assert_eq!(cluster.recoveries, 1);
+    assert!(
+        cluster.nodes[2].life.served > at_recovery,
+        "the balancer must hand work back to the recovered node"
+    );
+    assert!(
+        !cluster.nodes[2].cache.is_empty(),
+        "recovery warms the cache from the journal"
+    );
+}
+
+#[test]
+fn hashed_strategies_remap_placement_around_dead_nodes() {
+    let mut s = sim(StrategyKind::FileHash);
+    s.run_until(SimTime::from_secs(3));
+    s.cluster_mut().fail_node(SimTime::from_secs(3), MdsId(0));
+    s.run_until(SimTime::from_secs(8));
+    let cluster = s.cluster();
+    // live_authority is total and avoids the dead node.
+    for id in cluster.ns.live_ids().take(500) {
+        let m = cluster.live_authority(cluster.partition.authority(&cluster.ns, id));
+        assert_ne!(m, MdsId(0));
+        assert!(cluster.is_alive_node(m));
+    }
+    // Successor ring: dead node's keys flow to the next live node.
+    assert_eq!(cluster.live_authority(MdsId(0)), MdsId(1));
+}

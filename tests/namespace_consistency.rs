@@ -1,0 +1,147 @@
+//! Integration tests: after a full simulation with live namespace
+//! mutation, the shared tree and all derived state remain consistent.
+
+use dynmds::core::{SimConfig, Simulation};
+use dynmds::event::SimTime;
+use dynmds::namespace::NamespaceSpec;
+use dynmds::partition::StrategyKind;
+use dynmds::workload::{GeneralWorkload, OpMix, WorkloadConfig};
+
+fn mutated_cluster(strategy: StrategyKind) -> Simulation {
+    let mut cfg = SimConfig::small(strategy);
+    cfg.n_mds = 4;
+    cfg.n_clients = 24;
+    cfg.seed = 3;
+    let snapshot = NamespaceSpec::with_target_items(24, 5_000, 1).generate();
+    let wl = Box::new(GeneralWorkload::new(
+        WorkloadConfig {
+            // Mutation-heavy: stress creates, unlinks, renames, chmods.
+            mix: OpMix {
+                stat: 20.0,
+                open: 10.0,
+                readdir: 6.0,
+                create: 25.0,
+                mkdir: 5.0,
+                unlink: 15.0,
+                rename: 8.0,
+                chmod: 6.0,
+                setattr: 5.0,
+                link: 2.0,
+            },
+            seed: 2,
+            ..Default::default()
+        },
+        cfg.n_clients as usize,
+        &snapshot.user_homes,
+        &snapshot.shared_roots,
+        &snapshot.ns,
+    ));
+    let mut sim = Simulation::new(cfg, snapshot, wl);
+    sim.run_until(SimTime::from_secs(10));
+    sim
+}
+
+#[test]
+fn tree_survives_a_mutation_heavy_run() {
+    for strategy in [StrategyKind::DynamicSubtree, StrategyKind::LazyHybrid] {
+        let sim = mutated_cluster(strategy);
+        let ns = &sim.cluster().ns;
+
+        // Every live id's path resolves back to it.
+        let mut checked = 0;
+        for id in ns.live_ids() {
+            let path = ns.path_of(id).expect("live nodes have paths");
+            assert_eq!(ns.resolve(&path).expect("resolvable"), id);
+            checked += 1;
+        }
+        assert!(checked > 1_000, "{strategy}: tree unexpectedly small");
+
+        // Counts agree with a full walk (dedup'd: hard links visit a file
+        // once per dentry).
+        let mut walked: Vec<_> = ns.walk(ns.root()).collect();
+        walked.sort();
+        walked.dedup();
+        assert_eq!(walked.len() as u64, ns.total_items(), "{strategy}: walk vs counts");
+    }
+}
+
+#[test]
+fn caches_only_hold_live_or_coherent_entries() {
+    let sim = mutated_cluster(StrategyKind::DynamicSubtree);
+    let cluster = sim.cluster();
+    // Unlink removes entries from every cache, so anything cached must be
+    // alive in the shared namespace.
+    for node in &cluster.nodes {
+        for id in node.cache.iter_ids() {
+            assert!(
+                cluster.ns.is_alive(id),
+                "cached tombstone {id} on {}",
+                node.id
+            );
+        }
+    }
+}
+
+#[test]
+fn delegation_table_stays_total_under_mutation() {
+    let sim = mutated_cluster(StrategyKind::DynamicSubtree);
+    let cluster = sim.cluster();
+    let sub = cluster.partition.as_subtree().expect("subtree strategy");
+    // Authority is defined for every live item and lands inside the
+    // cluster.
+    for id in cluster.ns.live_ids() {
+        let m = sub.authority(&cluster.ns, id);
+        assert!(m.index() < cluster.nodes.len());
+    }
+    // Delegation sizes cover the whole namespace.
+    let sizes = sub.partition_sizes(&cluster.ns, cluster.cfg.n_mds);
+    assert_eq!(sizes.iter().sum::<u64>(), cluster.ns.total_items());
+}
+
+#[test]
+fn lazy_hybrid_update_log_converges() {
+    let sim = mutated_cluster(StrategyKind::LazyHybrid);
+    let cluster = sim.cluster();
+    let lh = cluster.partition.as_lazy().expect("lazy hybrid");
+    // Directory chmods/renames happened, so propagation work was done.
+    assert!(
+        lh.lifetime_stats().total() > 0,
+        "pending updates must have been applied lazily"
+    );
+    // And the log itself is bounded by the number of events issued.
+    assert!(lh.pending_events() as u64 <= lh.current_gen());
+}
+
+#[test]
+fn journal_accounting_is_conserved() {
+    let sim = mutated_cluster(StrategyKind::DynamicSubtree);
+    for node in &sim.cluster().nodes {
+        let j = &node.journal;
+        assert_eq!(
+            j.retired() + j.coalesced() + j.len() as u64,
+            j.appended(),
+            "every append is in the log, retired, or coalesced"
+        );
+    }
+}
+
+#[test]
+fn anchor_table_tracks_multiply_linked_inodes() {
+    let sim = mutated_cluster(StrategyKind::DynamicSubtree);
+    let cluster = sim.cluster();
+    // The link-bearing mix must have anchored something.
+    assert!(!cluster.anchors.is_empty(), "hard links must populate the anchor table");
+    // Every anchored inode resolves to a chain ending at the root, and
+    // every multiply-linked live file is anchored.
+    let mut multi = 0;
+    for id in cluster.ns.live_ids() {
+        let ino = cluster.ns.inode(id).unwrap();
+        if !ino.ftype.is_dir() && ino.nlink > 1 {
+            multi += 1;
+            assert!(cluster.anchors.contains(id), "{id} has {} links but no anchor", ino.nlink);
+            let chain = cluster.anchors.resolve(id).expect("anchored chain");
+            assert_eq!(*chain.last().unwrap(), cluster.ns.root());
+        }
+    }
+    assert!(multi > 0, "workload must have produced live hard links");
+}

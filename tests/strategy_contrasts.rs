@@ -1,0 +1,112 @@
+//! Integration tests: the qualitative contrasts between the five
+//! partitioning strategies that the paper's evaluation rests on.
+
+use dynmds::core::{SimConfig, SimReport, Simulation};
+use dynmds::namespace::NamespaceSpec;
+use dynmds::partition::StrategyKind;
+use dynmds::workload::{GeneralWorkload, WorkloadConfig};
+
+fn run(strategy: StrategyKind, force_table: bool) -> (SimReport, u64, u64) {
+    let mut cfg = SimConfig::small(strategy);
+    cfg.n_mds = 4;
+    cfg.n_clients = 32;
+    cfg.cache_capacity = 600;
+    cfg.journal_capacity = 200;
+    cfg.force_inode_table = force_table;
+    cfg.seed = 77;
+    let snapshot = NamespaceSpec::with_target_items(32, 8_000, 9).generate();
+    let wl = Box::new(GeneralWorkload::new(
+        WorkloadConfig { seed: 31, ..Default::default() },
+        cfg.n_clients as usize,
+        &snapshot.user_homes,
+        &snapshot.shared_roots,
+        &snapshot.ns,
+    ));
+    let mut sim = Simulation::new(cfg, snapshot, wl);
+    sim.run_until(dynmds::event::SimTime::from_secs(2));
+    sim.cluster_mut().reset_measurement(dynmds::event::SimTime::from_secs(2));
+    sim.run_until(dynmds::event::SimTime::from_secs(8));
+    let fetches = sim.cluster().store.fetches();
+    let writebacks = sim.cluster().store.writebacks();
+    (sim.finish(), fetches, writebacks)
+}
+
+#[test]
+fn prefix_overhead_orders_hashed_above_subtree() {
+    let (filehash, _, _) = run(StrategyKind::FileHash, false);
+    let (dirhash, _, _) = run(StrategyKind::DirHash, false);
+    let (static_, _, _) = run(StrategyKind::StaticSubtree, false);
+    assert!(
+        filehash.mean_prefix_pct() > dirhash.mean_prefix_pct(),
+        "file hashing scatters hardest: {:.1}% vs {:.1}%",
+        filehash.mean_prefix_pct(),
+        dirhash.mean_prefix_pct()
+    );
+    assert!(
+        dirhash.mean_prefix_pct() > static_.mean_prefix_pct(),
+        "any hashing beats subtree prefix overhead: {:.1}% vs {:.1}%",
+        dirhash.mean_prefix_pct(),
+        static_.mean_prefix_pct()
+    );
+}
+
+#[test]
+fn subtree_outperforms_hashing_on_general_workload() {
+    let (static_, _, _) = run(StrategyKind::StaticSubtree, false);
+    let (filehash, _, _) = run(StrategyKind::FileHash, false);
+    assert!(
+        static_.avg_mds_throughput() > filehash.avg_mds_throughput() * 1.2,
+        "paper's headline gap: {:.0} vs {:.0} ops/s",
+        static_.avg_mds_throughput(),
+        filehash.avg_mds_throughput()
+    );
+    assert!(
+        static_.latency.mean().unwrap() < filehash.latency.mean().unwrap(),
+        "subtree latency must be lower"
+    );
+}
+
+#[test]
+fn embedding_beats_inode_table_for_dir_hashing() {
+    let (embedded, fetches_embedded, _) = run(StrategyKind::DirHash, false);
+    let (table, fetches_table, _) = run(StrategyKind::DirHash, true);
+    // Placement identical; only the storage layout changed. Embedding
+    // must not fetch more, and hit rate must not collapse.
+    assert!(
+        fetches_embedded < fetches_table,
+        "whole-directory fetch must reduce disk transactions: {fetches_embedded} vs {fetches_table}"
+    );
+    // Both still serve a comparable workload volume.
+    assert!(embedded.total_served() > 0 && table.total_served() > 0);
+}
+
+#[test]
+fn lazy_hybrid_skips_traversal_but_pays_per_inode_io() {
+    let (lh, _, _) = run(StrategyKind::LazyHybrid, false);
+    let (subtree, _, _) = run(StrategyKind::StaticSubtree, false);
+    // Only the always-cached root may be marked as a prefix.
+    assert!(
+        lh.mean_prefix_pct() < 0.5,
+        "LH caches no traversal prefixes, got {:.2}%",
+        lh.mean_prefix_pct()
+    );
+    assert_eq!(lh.total_forwarded(), 0, "LH clients hash their own routes");
+    assert!(
+        lh.overall_hit_rate() < subtree.overall_hit_rate(),
+        "per-inode loads must hurt LH hit rate: {:.3} vs {:.3}",
+        lh.overall_hit_rate(),
+        subtree.overall_hit_rate()
+    );
+}
+
+#[test]
+fn every_strategy_journals_updates_to_both_tiers() {
+    for strategy in StrategyKind::ALL {
+        let (report, _, writebacks) = run(strategy, false);
+        assert!(report.total_served() > 1_000, "{strategy}: too few ops");
+        assert!(
+            writebacks > 0,
+            "{strategy}: journal retirement must reach tier 2"
+        );
+    }
+}
