@@ -18,11 +18,8 @@ fn run_shift(strategy: StrategyKind) -> u64 {
     let reserve = &snap.user_homes[24..];
     let preview = SubtreePartition::initial_near_root(&snap.ns, cfg.n_mds, 2);
     let victim = preview.authority(&snap.ns, reserve[0]);
-    let dest: Vec<_> = reserve
-        .iter()
-        .copied()
-        .filter(|&h| preview.authority(&snap.ns, h) == victim)
-        .collect();
+    let dest: Vec<_> =
+        reserve.iter().copied().filter(|&h| preview.authority(&snap.ns, h) == victim).collect();
     let base = GeneralWorkload::new(
         WorkloadConfig { seed: 7, ..Default::default() },
         24,

@@ -51,11 +51,8 @@ pub fn mini_flash(traffic_control: bool) -> SimReport {
     cfg.costs.think_mean = SimDuration::from_millis(20);
     cfg.seed = 29;
     let snap = NamespaceSpec { users: 8, seed: 31, ..Default::default() }.generate();
-    let target = snap
-        .ns
-        .walk(snap.shared_roots[0])
-        .find(|&id| !snap.ns.is_dir(id))
-        .expect("file exists");
+    let target =
+        snap.ns.walk(snap.shared_roots[0]).find(|&id| !snap.ns.is_dir(id)).expect("file exists");
     let wl = Box::new(FlashCrowd::new(target, cfg.n_clients as usize));
     let mut sim = Simulation::with_start(
         cfg,

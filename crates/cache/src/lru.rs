@@ -12,9 +12,7 @@
 //! is allowed to exceed capacity rather than violate the tree invariant;
 //! the overflow is counted and visible to experiments.
 
-use std::collections::HashMap;
-
-use dynmds_namespace::InodeId;
+use dynmds_namespace::{FxHashMap, InodeId};
 
 /// How an item entered the cache; determines its initial LRU position and
 /// its prefix accounting.
@@ -92,9 +90,16 @@ impl CacheStats {
 /// The per-MDS metadata cache. Capacity is measured in inodes, matching
 /// the paper's treatment of MDS memory as "cache size relative to total
 /// metadata size".
+///
+/// Entries live in a dense slab indexed by `InodeId::index()` — ids are
+/// allocated sequentially and never reused, so every lookup, list splice
+/// and eviction step is a direct array access instead of a hash probe.
+/// The slab grows to the namespace's id bound; the occupied count (not
+/// the slab length) is what capacity bounds.
 pub struct MetaCache {
     cap: usize,
-    map: HashMap<InodeId, Node>,
+    slots: Vec<Option<Node>>,
+    len: usize,
     protected: Ends,
     probation: Ends,
     probation_enabled: bool,
@@ -115,12 +120,23 @@ impl MetaCache {
         assert!(cap > 0, "cache capacity must be positive");
         MetaCache {
             cap,
-            map: HashMap::with_capacity(cap + 1),
+            slots: Vec::new(),
+            len: 0,
             protected: Ends::default(),
             probation: Ends::default(),
             probation_enabled,
             stats: CacheStats::default(),
         }
+    }
+
+    #[inline]
+    fn node(&self, id: InodeId) -> Option<&Node> {
+        self.slots.get(id.index()).and_then(|s| s.as_ref())
+    }
+
+    #[inline]
+    fn node_mut(&mut self, id: InodeId) -> Option<&mut Node> {
+        self.slots.get_mut(id.index()).and_then(|s| s.as_mut())
     }
 
     /// Capacity in entries.
@@ -130,17 +146,17 @@ impl MetaCache {
 
     /// Current number of cached entries.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.len
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len == 0
     }
 
     /// Whether `id` is cached (no LRU side effects).
     pub fn contains(&self, id: InodeId) -> bool {
-        self.map.contains_key(&id)
+        self.node(id).is_some()
     }
 
     /// Cumulative counters.
@@ -156,31 +172,31 @@ impl MetaCache {
 
     /// Number of cached children pinning `id`.
     pub fn pins(&self, id: InodeId) -> Option<u32> {
-        self.map.get(&id).map(|n| n.pins)
+        self.node(id).map(|n| n.pins)
     }
 
     /// Whether `id` is held only as a prefix (never directly requested).
     pub fn is_prefix(&self, id: InodeId) -> Option<bool> {
-        self.map.get(&id).map(|n| n.is_prefix)
+        self.node(id).map(|n| n.is_prefix)
     }
 
     /// Count of prefix-only entries — the Figure 3 numerator.
     pub fn prefix_count(&self) -> usize {
-        self.map.values().filter(|n| n.is_prefix).count()
+        self.slots.iter().flatten().filter(|n| n.is_prefix).count()
     }
 
     /// Fraction of the cache holding prefix-only entries (0 when empty).
     pub fn prefix_fraction(&self) -> f64 {
-        if self.map.is_empty() {
+        if self.len == 0 {
             0.0
         } else {
-            self.prefix_count() as f64 / self.map.len() as f64
+            self.prefix_count() as f64 / self.len as f64
         }
     }
 
-    /// Iterates over all cached ids (arbitrary order).
+    /// Iterates over all cached ids (ascending id order).
     pub fn iter_ids(&self) -> impl Iterator<Item = InodeId> + '_ {
-        self.map.keys().copied()
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|_| InodeId(i as u64)))
     }
 
     // ---- intrusive list plumbing ------------------------------------
@@ -192,18 +208,18 @@ impl MetaCache {
         }
     }
 
-    /// Detaches `id` from its current list (entry stays in the map).
+    /// Detaches `id` from its current list (entry stays in the slab).
     fn detach(&mut self, id: InodeId) {
-        let node = self.map[&id];
+        let node = *self.node(id).expect("present");
         match node.prev {
-            Some(p) => self.map.get_mut(&p).expect("list link").next = node.next,
+            Some(p) => self.node_mut(p).expect("list link").next = node.next,
             None => self.ends_mut(node.seg).head = node.next,
         }
         match node.next {
-            Some(n) => self.map.get_mut(&n).expect("list link").prev = node.prev,
+            Some(n) => self.node_mut(n).expect("list link").prev = node.prev,
             None => self.ends_mut(node.seg).tail = node.prev,
         }
-        let e = self.map.get_mut(&id).expect("present");
+        let e = self.node_mut(id).expect("present");
         e.prev = None;
         e.next = None;
     }
@@ -212,13 +228,13 @@ impl MetaCache {
     fn attach_head(&mut self, id: InodeId, seg: Segment) {
         let old_head = self.ends_mut(seg).head;
         {
-            let e = self.map.get_mut(&id).expect("present");
+            let e = self.node_mut(id).expect("present");
             e.seg = seg;
             e.prev = None;
             e.next = old_head;
         }
         if let Some(h) = old_head {
-            self.map.get_mut(&h).expect("list link").prev = Some(id);
+            self.node_mut(h).expect("list link").prev = Some(id);
         }
         let ends = self.ends_mut(seg);
         ends.head = Some(id);
@@ -233,12 +249,12 @@ impl MetaCache {
     /// the protected MRU head; `as_target` additionally clears its prefix
     /// flag (it is now known-useful data, not just a traversal step).
     pub fn lookup(&mut self, id: InodeId, as_target: bool) -> bool {
-        if self.map.contains_key(&id) {
+        if self.contains(id) {
             self.stats.hits += 1;
             self.detach(id);
             self.attach_head(id, Segment::Protected);
             if as_target {
-                self.map.get_mut(&id).expect("present").is_prefix = false;
+                self.node_mut(id).expect("present").is_prefix = false;
             }
             true
         } else {
@@ -250,7 +266,7 @@ impl MetaCache {
     /// Peeks without LRU movement or stats. Used for cache-content checks
     /// (e.g. replica invariants) that should not perturb eviction order.
     pub fn peek(&self, id: InodeId) -> bool {
-        self.map.contains_key(&id)
+        self.contains(id)
     }
 
     /// Inserts `id` with the given cached `parent` (which must already be
@@ -264,12 +280,9 @@ impl MetaCache {
         kind: InsertKind,
     ) -> Vec<InodeId> {
         if let Some(p) = parent {
-            debug_assert!(
-                self.map.contains_key(&p),
-                "parent {p} must be cached before child {id}"
-            );
+            debug_assert!(self.contains(p), "parent {p} must be cached before child {id}");
         }
-        if self.map.contains_key(&id) {
+        if self.contains(id) {
             // Refresh: possibly upgrade from prefix to target.
             let as_target = kind == InsertKind::Target;
             self.lookup(id, as_target);
@@ -284,19 +297,21 @@ impl MetaCache {
             InsertKind::Prefetch if self.probation_enabled => Segment::Probation,
             _ => Segment::Protected,
         };
-        self.map.insert(
-            id,
-            Node { prev: None, next: None, seg, parent, pins: 0, is_prefix },
-        );
+        let idx = id.index();
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        self.slots[idx] = Some(Node { prev: None, next: None, seg, parent, pins: 0, is_prefix });
+        self.len += 1;
         self.attach_head(id, seg);
         if let Some(p) = parent {
-            if let Some(pn) = self.map.get_mut(&p) {
+            if let Some(pn) = self.node_mut(p) {
                 pn.pins += 1;
             }
         }
 
         let mut evicted = Vec::new();
-        while self.map.len() > self.cap {
+        while self.len > self.cap {
             match self.evict_one(id) {
                 Some(victim) => evicted.push(victim),
                 None => {
@@ -318,7 +333,7 @@ impl MetaCache {
                 Segment::Protected => self.protected.tail,
             };
             while let Some(id) = cur {
-                let node = self.map[&id];
+                let node = *self.node(id).expect("list link");
                 if node.pins == 0 && id != protect {
                     self.remove_internal(id);
                     self.stats.evictions += 1;
@@ -333,10 +348,11 @@ impl MetaCache {
     /// Removes `id` regardless of segment, unpinning its parent.
     fn remove_internal(&mut self, id: InodeId) {
         self.detach(id);
-        let node = self.map.remove(&id).expect("present");
+        let node = self.slots[id.index()].take().expect("present");
+        self.len -= 1;
         debug_assert_eq!(node.pins, 0, "removing pinned entry {id}");
         if let Some(p) = node.parent {
-            if let Some(pn) = self.map.get_mut(&p) {
+            if let Some(pn) = self.node_mut(p) {
                 debug_assert!(pn.pins > 0, "pin underflow on {p}");
                 pn.pins -= 1;
             }
@@ -346,7 +362,7 @@ impl MetaCache {
     /// Explicitly removes `id` (replica invalidation, subtree migration).
     /// Fails if the entry still has cached children.
     pub fn remove(&mut self, id: InodeId) -> Result<(), CacheError> {
-        match self.map.get(&id) {
+        match self.node(id) {
             None => Err(CacheError::NotCached),
             Some(n) if n.pins > 0 => Err(CacheError::Pinned),
             Some(_) => {
@@ -366,7 +382,7 @@ impl MetaCache {
         loop {
             let mut progress = false;
             pending.retain(|&id| {
-                if self.map.get(&id).map(|n| n.pins == 0).unwrap_or(false) {
+                if self.node(id).map(|n| n.pins == 0).unwrap_or(false) {
                     self.remove_internal(id);
                     removed += 1;
                     progress = true;
@@ -388,11 +404,13 @@ impl MetaCache {
     pub fn check_integrity(&self) {
         // Walk both lists, count reachable nodes.
         let mut seen = 0usize;
-        for (ends, seg) in [(self.protected, Segment::Protected), (self.probation, Segment::Probation)] {
+        for (ends, seg) in
+            [(self.protected, Segment::Protected), (self.probation, Segment::Probation)]
+        {
             let mut prev: Option<InodeId> = None;
             let mut cur = ends.head;
             while let Some(id) = cur {
-                let n = &self.map[&id];
+                let n = self.node(id).expect("list member cached");
                 assert_eq!(n.seg, seg, "entry {id} on wrong segment list");
                 assert_eq!(n.prev, prev, "broken prev link at {id}");
                 seen += 1;
@@ -401,18 +419,23 @@ impl MetaCache {
             }
             assert_eq!(ends.tail, prev, "tail pointer mismatch");
         }
-        assert_eq!(seen, self.map.len(), "list membership mismatch");
+        assert_eq!(seen, self.len, "list membership mismatch");
 
         // Pins equal cached-child counts; parents are cached.
-        let mut child_counts: HashMap<InodeId, u32> = HashMap::new();
-        for n in self.map.values() {
+        let mut child_counts: FxHashMap<InodeId, u32> = FxHashMap::default();
+        for n in self.slots.iter().flatten() {
             if let Some(p) = n.parent {
-                assert!(self.map.contains_key(&p), "cached child with uncached parent {p}");
+                assert!(self.contains(p), "cached child with uncached parent {p}");
                 *child_counts.entry(p).or_insert(0) += 1;
             }
         }
-        for (id, n) in &self.map {
-            assert_eq!(n.pins, child_counts.get(id).copied().unwrap_or(0), "pin count wrong on {id}");
+        for id in self.iter_ids() {
+            let n = self.node(id).expect("present");
+            assert_eq!(
+                n.pins,
+                child_counts.get(&id).copied().unwrap_or(0),
+                "pin count wrong on {id}"
+            );
         }
     }
 }

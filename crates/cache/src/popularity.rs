@@ -9,10 +9,8 @@
 //! each access adds 1 after decay. Values are updated lazily on access
 //! and on read, so idle items cost nothing.
 
-use std::collections::HashMap;
-
 use dynmds_event::{SimDuration, SimTime};
-use dynmds_namespace::InodeId;
+use dynmds_namespace::{FxHashMap, InodeId};
 
 #[derive(Clone, Copy, Debug)]
 struct Counter {
@@ -23,14 +21,14 @@ struct Counter {
 /// Decaying popularity counters keyed by inode.
 pub struct Popularity {
     half_life: SimDuration,
-    counters: HashMap<InodeId, Counter>,
+    counters: FxHashMap<InodeId, Counter>,
 }
 
 impl Popularity {
     /// Creates a meter with the given half-life.
     pub fn new(half_life: SimDuration) -> Self {
         assert!(half_life.as_micros() > 0, "half-life must be positive");
-        Popularity { half_life, counters: HashMap::new() }
+        Popularity { half_life, counters: FxHashMap::default() }
     }
 
     fn decayed(&self, c: Counter, now: SimTime) -> f64 {
@@ -41,11 +39,7 @@ impl Popularity {
 
     /// Records one access to `id` at `now`; returns the updated value.
     pub fn record(&mut self, now: SimTime, id: InodeId) -> f64 {
-        let prev = self
-            .counters
-            .get(&id)
-            .map(|&c| self.decayed(c, now))
-            .unwrap_or(0.0);
+        let prev = self.counters.get(&id).map(|&c| self.decayed(c, now)).unwrap_or(0.0);
         let value = prev + 1.0;
         self.counters.insert(id, Counter { value, last: now });
         value

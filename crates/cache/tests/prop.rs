@@ -8,16 +8,25 @@ use proptest::prelude::*;
 #[derive(Clone, Debug)]
 enum Action {
     /// Insert the id-th live inode along with its ancestor chain.
-    InsertWithPrefixes { pick: usize, kind_sel: u8 },
-    Lookup { pick: usize, as_target: bool },
-    Remove { pick: usize },
+    InsertWithPrefixes {
+        pick: usize,
+        kind_sel: u8,
+    },
+    Lookup {
+        pick: usize,
+        as_target: bool,
+    },
+    Remove {
+        pick: usize,
+    },
 }
 
 fn action_strategy() -> impl Strategy<Value = Action> {
     prop_oneof![
         (any::<usize>(), any::<u8>())
             .prop_map(|(pick, kind_sel)| Action::InsertWithPrefixes { pick, kind_sel }),
-        (any::<usize>(), any::<bool>()).prop_map(|(pick, as_target)| Action::Lookup { pick, as_target }),
+        (any::<usize>(), any::<bool>())
+            .prop_map(|(pick, as_target)| Action::Lookup { pick, as_target }),
         any::<usize>().prop_map(|pick| Action::Remove { pick }),
     ]
 }

@@ -210,17 +210,14 @@ impl Cluster {
             if d == root {
                 continue;
             }
-            let recently = |map: &std::collections::HashMap<InodeId, SimTime>| {
+            let recently = |map: &dynmds_namespace::FxHashMap<InodeId, SimTime>| {
                 map.get(&d).map(|&t| now.saturating_since(t) < cooldown).unwrap_or(false)
             };
             if recently(&self.last_migrated) || recently(&self.split_at) {
                 continue;
             }
             // Nearest enclosing delegation point's owner.
-            let enclosing = self
-                .ns
-                .ancestors(d)
-                .find_map(|a| sub.delegation_of(a));
+            let enclosing = self.ns.ancestors(d).find_map(|a| sub.delegation_of(a));
             if enclosing == Some(owner) {
                 to_merge.push(d);
             }
@@ -281,12 +278,8 @@ impl Cluster {
         anchor_chain.reverse();
         let ti = to.index();
         for anc in anchor_chain {
-            let parent = self
-                .ns
-                .parent(anc)
-                .ok()
-                .flatten()
-                .filter(|p| self.nodes[ti].cache.peek(*p));
+            let parent =
+                self.ns.parent(anc).ok().flatten().filter(|p| self.nodes[ti].cache.peek(*p));
             self.nodes[ti].cache.insert(anc, parent, InsertKind::Prefix);
         }
         // … then receives the migrated items, parents before children.
@@ -296,12 +289,8 @@ impl Cluster {
             if !self.ns.is_alive(id) {
                 continue;
             }
-            let parent = self
-                .ns
-                .parent(id)
-                .ok()
-                .flatten()
-                .filter(|p| self.nodes[ti].cache.peek(*p));
+            let parent =
+                self.ns.parent(id).ok().flatten().filter(|p| self.nodes[ti].cache.peek(*p));
             let kind = if self.ns.is_dir(id) { InsertKind::Prefix } else { InsertKind::Target };
             self.nodes[ti].cache.insert(id, parent, kind);
         }
@@ -400,13 +389,12 @@ mod tests {
         c.consolidate_partition(SimTime::from_secs(100));
         let home = c.ns.resolve("/home/user0000").unwrap();
         let owner = c.partition.as_subtree().unwrap().authority(&c.ns, home);
-        let child = c
-            .ns
-            .children(home)
-            .unwrap()
-            .map(|(_, i)| i)
-            .find(|&i| c.ns.is_dir(i))
-            .expect("home has subdirs");
+        let child =
+            c.ns.children(home)
+                .unwrap()
+                .map(|(_, i)| i)
+                .find(|&i| c.ns.is_dir(i))
+                .expect("home has subdirs");
         c.partition.as_subtree_mut().unwrap().delegate(child, owner);
         let before = c.partition.as_subtree().unwrap().delegation_count();
         c.consolidate_partition(SimTime::from_secs(200));
@@ -421,19 +409,13 @@ mod tests {
         let mut c = tiny_cluster(StrategyKind::DynamicSubtree);
         c.consolidate_partition(SimTime::from_secs(100));
         // Find a home with at least two subdirectories.
-        let homes: Vec<_> = (0..8)
-            .map(|u| c.ns.resolve(&format!("/home/user{u:04}")).unwrap())
-            .collect();
+        let homes: Vec<_> =
+            (0..8).map(|u| c.ns.resolve(&format!("/home/user{u:04}")).unwrap()).collect();
         let (home, dir_list) = homes
             .iter()
             .find_map(|&h| {
-                let dirs: Vec<_> = c
-                    .ns
-                    .children(h)
-                    .unwrap()
-                    .map(|(_, i)| i)
-                    .filter(|&i| c.ns.is_dir(i))
-                    .collect();
+                let dirs: Vec<_> =
+                    c.ns.children(h).unwrap().map(|(_, i)| i).filter(|&i| c.ns.is_dir(i)).collect();
                 (dirs.len() >= 2).then_some((h, dirs))
             })
             .expect("some home has two subdirs");

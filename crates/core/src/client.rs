@@ -10,10 +10,8 @@
 //! themselves and always contact the mapped server directly — which is
 //! exactly why those strategies cannot prevent flash crowds (§4.4).
 
-use std::collections::HashMap;
-
 use dynmds_event::SimRng;
-use dynmds_namespace::{ClientId, InodeId, MdsId, Namespace};
+use dynmds_namespace::{ClientId, FxHashMap, InodeId, MdsId, Namespace};
 
 /// What a client believes about an item's location.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -26,9 +24,9 @@ pub enum KnownLocation {
 
 /// Per-client location caches plus the routing logic.
 pub struct ClientPool {
-    routes: Vec<HashMap<InodeId, KnownLocation>>,
+    routes: Vec<FxHashMap<InodeId, KnownLocation>>,
     /// Per client: metadata leases (item → expiry), §4.2.
-    leases: Vec<HashMap<InodeId, dynmds_event::SimTime>>,
+    leases: Vec<FxHashMap<InodeId, dynmds_event::SimTime>>,
     uids: Vec<u32>,
     rng: SimRng,
     n_mds: u16,
@@ -40,8 +38,8 @@ impl ClientPool {
     pub fn new(n_clients: u32, n_mds: u16, seed: u64) -> Self {
         assert!(n_mds > 0, "cluster must be non-empty");
         ClientPool {
-            routes: (0..n_clients).map(|_| HashMap::new()).collect(),
-            leases: (0..n_clients).map(|_| HashMap::new()).collect(),
+            routes: (0..n_clients).map(|_| FxHashMap::default()).collect(),
+            leases: (0..n_clients).map(|_| FxHashMap::default()).collect(),
             uids: vec![0; n_clients as usize],
             rng: SimRng::seed_from_u64(seed ^ 0xC11E_47B0),
             n_mds,
@@ -57,10 +55,7 @@ impl ClientPool {
         item: InodeId,
         now: dynmds_event::SimTime,
     ) -> bool {
-        let valid = self.leases[client.index()]
-            .get(&item)
-            .map(|&exp| exp > now)
-            .unwrap_or(false);
+        let valid = self.leases[client.index()].get(&item).map(|&exp| exp > now).unwrap_or(false);
         if valid {
             self.lease_hits += 1;
         }

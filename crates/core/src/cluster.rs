@@ -19,12 +19,12 @@
 //!    replicated cluster-wide and replies advertise the replica set.
 //! 6. **Reply** — carries location information that educates the client.
 
-use std::collections::HashSet;
-
 use dynmds_cache::InsertKind;
 use dynmds_event::{EventQueue, Handler, SimDuration, SimRng, SimTime};
 use dynmds_metrics::{Summary, TimeSeries};
-use dynmds_namespace::{ClientId, InodeId, MdsId, Namespace, Permissions, Snapshot};
+use dynmds_namespace::{
+    ClientId, FxHashMap, FxHashSet, InodeId, MdsId, Namespace, Permissions, Snapshot,
+};
 use dynmds_partition::{dentry_hash, Partition, StrategyKind};
 use dynmds_storage::{AnchorTable, MetadataStore, OsdPool, StoreLayout};
 use dynmds_workload::{Op, Workload};
@@ -57,23 +57,23 @@ pub struct Cluster {
 
     // --- traffic control state (§4.4) ---------------------------------
     /// Items currently replicated cluster-wide.
-    pub(crate) replicated: HashSet<InodeId>,
+    pub(crate) replicated: FxHashSet<InodeId>,
 
     // --- dynamic directory hashing (§4.3) ------------------------------
     /// Directories currently spread entry-wise across the cluster.
-    pub(crate) hashed_dirs: HashSet<InodeId>,
+    pub(crate) hashed_dirs: FxHashSet<InodeId>,
 
     // --- balancer bookkeeping (§4.3) -----------------------------------
     /// Per node: subtree roots imported through balancing (re-delegated
     /// first when shedding load).
     pub(crate) imported: Vec<Vec<InodeId>>,
     /// Ops per delegation root since the last heartbeat.
-    pub(crate) subtree_ops: std::collections::HashMap<InodeId, u64>,
+    pub(crate) subtree_ops: FxHashMap<InodeId, u64>,
     /// Last migration time per subtree root (anti-thrash cooldown).
-    pub(crate) last_migrated: std::collections::HashMap<InodeId, SimTime>,
+    pub(crate) last_migrated: FxHashMap<InodeId, SimTime>,
     /// When each delegation point was created by a split (consolidation
     /// protection until it has had a chance to migrate).
-    pub(crate) split_at: std::collections::HashMap<InodeId, SimTime>,
+    pub(crate) split_at: FxHashMap<InodeId, SimTime>,
     /// Served ops per node since the last heartbeat.
     pub(crate) hb_served: Vec<u64>,
     /// Cache misses per node since the last heartbeat.
@@ -99,11 +99,17 @@ pub struct Cluster {
     // --- accounting -----------------------------------------------------
     /// Served operations by kind (MDS-visible; lease-served reads are not
     /// included).
-    pub op_counts: std::collections::HashMap<dynmds_workload::OpKind, u64>,
+    pub op_counts: FxHashMap<dynmds_workload::OpKind, u64>,
 
     // --- shared writes (§4.2, GPFS-style) ------------------------------
     /// Items with outstanding replica-absorbed write deltas.
-    pub(crate) dirty_shared: HashSet<InodeId>,
+    pub(crate) dirty_shared: FxHashSet<InodeId>,
+
+    /// Reusable root-first ancestor-chain buffer for [`traverse`]
+    /// (steady-state request service allocates nothing per op).
+    ///
+    /// [`traverse`]: Cluster::traverse
+    pub(crate) traverse_scratch: Vec<InodeId>,
     /// Writes absorbed at non-authoritative replicas.
     pub shared_write_absorbed: u64,
     /// Delta pushes merged at authorities (heartbeat + read callbacks).
@@ -163,12 +169,12 @@ impl Cluster {
             nodes,
             clients,
             workload,
-            replicated: HashSet::new(),
-            hashed_dirs: HashSet::new(),
+            replicated: FxHashSet::default(),
+            hashed_dirs: FxHashSet::default(),
             imported: vec![Vec::new(); n],
-            subtree_ops: std::collections::HashMap::new(),
-            last_migrated: std::collections::HashMap::new(),
-            split_at: std::collections::HashMap::new(),
+            subtree_ops: FxHashMap::default(),
+            last_migrated: FxHashMap::default(),
+            split_at: FxHashMap::default(),
             hb_served: vec![0; n],
             hb_misses: vec![0; n],
             hb_ewma: vec![0.0; n],
@@ -178,8 +184,9 @@ impl Cluster {
             failures: 0,
             recoveries: 0,
             failover_timeouts: 0,
-            op_counts: std::collections::HashMap::new(),
-            dirty_shared: HashSet::new(),
+            op_counts: FxHashMap::default(),
+            dirty_shared: FxHashSet::default(),
+            traverse_scratch: Vec::new(),
             shared_write_absorbed: 0,
             shared_write_flushes: 0,
             measure_start: SimTime::ZERO,
@@ -408,10 +415,7 @@ impl Cluster {
         // A read of an item with outstanding shared-write deltas triggers
         // the §4.2 callback: gather the latest values first (one round
         // trip).
-        if self.cfg.shared_writes
-            && !req.op.is_update()
-            && self.dirty_shared.contains(&target)
-        {
+        if self.cfg.shared_writes && !req.op.is_update() && self.dirty_shared.contains(&target) {
             let contributors = self.gather_shared_writes(target);
             if contributors > 0 {
                 io_done = io_done.max(now + self.cfg.costs.net_hop.saturating_mul(2));
@@ -501,14 +505,13 @@ impl Cluster {
     /// Walks the prefix directories of `target` in `mds`'s cache, loading
     /// anything missing. Returns the IO completion time.
     fn traverse(&mut self, now: SimTime, mds: MdsId, target: InodeId) -> SimTime {
-        let chain: Vec<InodeId> = {
-            let mut c: Vec<InodeId> = self.ns.ancestors(target).collect();
-            c.reverse(); // root first
-            c
-        };
+        // Reuse the cluster-owned chain buffer: after warmup this walk
+        // runs for every served op and must not allocate.
+        let mut chain = std::mem::take(&mut self.traverse_scratch);
+        self.ns.ancestors_into(target, &mut chain);
         let i = mds.index();
         let mut io_done = now;
-        for dir in chain {
+        for &dir in &chain {
             if self.nodes[i].cache.lookup(dir, false) {
                 continue;
             }
@@ -540,6 +543,7 @@ impl Cluster {
                 self.nodes[i].cache.insert(dir, parent, InsertKind::Prefix);
             }
         }
+        self.traverse_scratch = chain;
         io_done
     }
 
@@ -642,11 +646,7 @@ impl Cluster {
     /// The namespace parent of `id` if (and only if) it is cached at
     /// `mds` — cache tree-linking must never point at uncached parents.
     fn cached_parent(&self, mds: MdsId, id: InodeId) -> Option<InodeId> {
-        self.ns
-            .parent(id)
-            .ok()
-            .flatten()
-            .filter(|p| self.nodes[mds.index()].cache.peek(*p))
+        self.ns.parent(id).ok().flatten().filter(|p| self.nodes[mds.index()].cache.peek(*p))
     }
 
     /// Applies a mutation to the namespace, journals it, and handles
@@ -718,16 +718,15 @@ impl Cluster {
                     touched.push(*dir);
                 }
             }
-            Op::Link { target, dir, name }
-                if self.ns.link(*target, *dir, name).is_ok() => {
-                    // First extra link anchors the inode so it stays
-                    // locatable without a path (§4.5).
-                    if !self.anchors.contains(*target) {
-                        self.anchors.anchor(&self.ns, *target);
-                    }
-                    touched.push(*target);
-                    touched.push(*dir);
+            Op::Link { target, dir, name } if self.ns.link(*target, *dir, name).is_ok() => {
+                // First extra link anchors the inode so it stays
+                // locatable without a path (§4.5).
+                if !self.anchors.contains(*target) {
+                    self.anchors.anchor(&self.ns, *target);
                 }
+                touched.push(*target);
+                touched.push(*dir);
+            }
             Op::Rename { dir, name, new_name } => {
                 if let Ok(id) = self.ns.rename(*dir, name, *dir, new_name) {
                     if self.ns.is_dir(id) {
@@ -741,16 +740,15 @@ impl Cluster {
                     touched.push(id);
                 }
             }
-            Op::Chmod { target, mode }
-                if self.ns.chmod(*target, *mode).is_ok() => {
-                    if self.ns.is_dir(*target) {
-                        if let Some(lh) = self.partition.as_lazy_mut() {
-                            lh.on_dir_permission_change(*target);
-                        }
-                        self.invalidate_replicas(*target);
+            Op::Chmod { target, mode } if self.ns.chmod(*target, *mode).is_ok() => {
+                if self.ns.is_dir(*target) {
+                    if let Some(lh) = self.partition.as_lazy_mut() {
+                        lh.on_dir_permission_change(*target);
                     }
-                    touched.push(*target);
+                    self.invalidate_replicas(*target);
                 }
+                touched.push(*target);
+            }
             _ => {}
         }
 
@@ -765,9 +763,7 @@ impl Cluster {
         for &id in &touched {
             writebacks.extend(self.nodes[i].journal.append(id));
         }
-        let jdone = self.nodes[i]
-            .journal_disk
-            .access(now, dynmds_storage::AccessKind::Write);
+        let jdone = self.nodes[i].journal_disk.access(now, dynmds_storage::AccessKind::Write);
         // Retired entries stream to tier 2 asynchronously (don't block the
         // reply, do consume pool throughput).
         for wb in writebacks {
@@ -825,8 +821,11 @@ impl Cluster {
             } else if self.ns.is_alive(target) {
                 if let Some(sub) = self.partition.as_subtree() {
                     let root = sub.subtree_root_of(&self.ns, target);
-                    self.clients
-                        .learn(req.client, root, KnownLocation::Single(self.authority_of(target)));
+                    self.clients.learn(
+                        req.client,
+                        root,
+                        KnownLocation::Single(self.authority_of(target)),
+                    );
                 }
             }
             let _ = mds;
@@ -834,11 +833,9 @@ impl Cluster {
         let arrive = reply_at + self.cfg.costs.net_hop;
         // Attribute-read replies piggyback a lease (§4.2).
         if self.cfg.client_leases && !req.op.is_update() && self.ns.is_alive(target) {
-            self.clients
-                .grant_lease(req.client, target, arrive + self.cfg.lease_ttl);
+            self.clients.grant_lease(req.client, target, arrive + self.cfg.lease_ttl);
         }
-        self.latency
-            .record(arrive.saturating_since(req.issued_at).as_secs_f64());
+        self.latency.record(arrive.saturating_since(req.issued_at).as_secs_f64());
         queue.schedule(arrive, SimEvent::Reply { client: req.client });
     }
 
@@ -859,10 +856,8 @@ impl Handler<SimEvent> for Cluster {
             SimEvent::Issue(client) => self.on_issue(now, client, queue),
             SimEvent::Arrive { mds, req } => self.on_arrive(now, mds, req, queue),
             SimEvent::Reply { client } => {
-                let think_us = self
-                    .rng
-                    .exponential(self.cfg.costs.think_mean.as_micros() as f64)
-                    as u64;
+                let think_us =
+                    self.rng.exponential(self.cfg.costs.think_mean.as_micros() as f64) as u64;
                 queue.schedule(now + SimDuration::from_micros(think_us), SimEvent::Issue(client));
             }
             SimEvent::Heartbeat => {

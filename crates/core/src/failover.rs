@@ -82,10 +82,8 @@ impl Cluster {
             Some(sub) => sub.delegations_of(mds),
             None => Vec::new(),
         };
-        let survivors: Vec<MdsId> = (0..self.nodes.len())
-            .filter(|&i| self.alive[i])
-            .map(|i| MdsId(i as u16))
-            .collect();
+        let survivors: Vec<MdsId> =
+            (0..self.nodes.len()).filter(|&i| self.alive[i]).map(|i| MdsId(i as u16)).collect();
         for (k, root) in owned.into_iter().enumerate() {
             let heir = survivors[k % survivors.len()];
             if let Some(sub) = self.partition.as_subtree_mut() {
@@ -102,7 +100,13 @@ impl Cluster {
     /// Preloads `heir`'s cache with the part of a failed node's journal
     /// working set that falls under `root` — the §4.6 recovery path. The
     /// heir pays a journal read (sequential, fast) plus per-item handling.
-    fn warm_from_journal(&mut self, now: SimTime, heir: MdsId, root: InodeId, working_set: &[InodeId]) {
+    fn warm_from_journal(
+        &mut self,
+        now: SimTime,
+        heir: MdsId,
+        root: InodeId,
+        working_set: &[InodeId],
+    ) {
         let mut inherited: Vec<InodeId> = working_set
             .iter()
             .copied()
@@ -113,9 +117,7 @@ impl Cluster {
             return;
         }
         // One journal read plus per-record replay cost.
-        self.nodes[heir.index()]
-            .journal_disk
-            .access(now, dynmds_storage::AccessKind::Read);
+        self.nodes[heir.index()].journal_disk.access(now, dynmds_storage::AccessKind::Read);
         let cost = self.cfg.costs.migrate_per_item.saturating_mul(inherited.len() as u64);
         self.nodes[heir.index()].occupy(now, cost);
 
@@ -124,21 +126,13 @@ impl Cluster {
         chain.reverse();
         let hi = heir.index();
         for anc in chain {
-            let parent = self
-                .ns
-                .parent(anc)
-                .ok()
-                .flatten()
-                .filter(|p| self.nodes[hi].cache.peek(*p));
+            let parent =
+                self.ns.parent(anc).ok().flatten().filter(|p| self.nodes[hi].cache.peek(*p));
             self.nodes[hi].cache.insert(anc, parent, InsertKind::Prefix);
         }
         for id in inherited {
-            let parent = self
-                .ns
-                .parent(id)
-                .ok()
-                .flatten()
-                .filter(|p| self.nodes[hi].cache.peek(*p));
+            let parent =
+                self.ns.parent(id).ok().flatten().filter(|p| self.nodes[hi].cache.peek(*p));
             let kind = if self.ns.is_dir(id) { InsertKind::Prefix } else { InsertKind::Target };
             self.nodes[hi].cache.insert(id, parent, kind);
         }
@@ -161,9 +155,7 @@ impl Cluster {
         // §4.6 cache warming: the log approximates the working set.
         let mut ws: Vec<InodeId> = self.nodes[mds.index()].journal.working_set().collect();
         ws.sort_by_key(|&id| (self.ns.depth(id).unwrap_or(usize::MAX), id));
-        self.nodes[mds.index()]
-            .journal_disk
-            .access(now, dynmds_storage::AccessKind::Read);
+        self.nodes[mds.index()].journal_disk.access(now, dynmds_storage::AccessKind::Read);
         let cost = self.cfg.costs.migrate_per_item.saturating_mul(ws.len() as u64 + 1);
         self.nodes[mds.index()].occupy(now, cost);
         let mi = mds.index();
@@ -185,12 +177,8 @@ impl Cluster {
                     self.nodes[mi].cache.insert(anc, parent, InsertKind::Prefix);
                 }
             }
-            let parent = self
-                .ns
-                .parent(id)
-                .ok()
-                .flatten()
-                .filter(|p| self.nodes[mi].cache.peek(*p));
+            let parent =
+                self.ns.parent(id).ok().flatten().filter(|p| self.nodes[mi].cache.peek(*p));
             let kind = if self.ns.is_dir(id) { InsertKind::Prefix } else { InsertKind::Target };
             self.nodes[mi].cache.insert(id, parent, kind);
         }

@@ -56,7 +56,7 @@ pub struct MdsNode {
     /// Locally absorbed shared-write deltas (§4.2 GPFS-style): per inode,
     /// accumulated size growth and max mtime, pushed to the authority on
     /// the heartbeat.
-    pub write_deltas: std::collections::HashMap<dynmds_namespace::InodeId, (u64, u64)>,
+    pub write_deltas: dynmds_namespace::FxHashMap<dynmds_namespace::InodeId, (u64, u64)>,
     /// Dedicated journal device (sequential appends).
     pub journal_disk: DiskModel,
     busy_until: SimTime,
@@ -81,7 +81,7 @@ impl MdsNode {
             popularity: Popularity::new(popularity_half_life),
             update_popularity: Popularity::new(popularity_half_life),
             journal: BoundedLog::new(journal_capacity),
-            write_deltas: std::collections::HashMap::new(),
+            write_deltas: dynmds_namespace::FxHashMap::default(),
             journal_disk: DiskModel::new(journal_disk),
             busy_until: SimTime::ZERO,
             win: WindowCounters::default(),

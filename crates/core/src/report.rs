@@ -83,8 +83,7 @@ impl SimReport {
         if self.nodes.is_empty() {
             return 0.0;
         }
-        100.0 * self.nodes.iter().map(|n| n.prefix_fraction).sum::<f64>()
-            / self.nodes.len() as f64
+        100.0 * self.nodes.iter().map(|n| n.prefix_fraction).sum::<f64>() / self.nodes.len() as f64
     }
 
     /// **Figure 4 quantity**: cluster-wide cache hit rate, weighted by
@@ -94,11 +93,7 @@ impl SimReport {
         if total == 0 {
             return 0.0;
         }
-        self.nodes
-            .iter()
-            .map(|n| n.hit_rate * n.served as f64)
-            .sum::<f64>()
-            / total as f64
+        self.nodes.iter().map(|n| n.hit_rate * n.served as f64).sum::<f64>() / total as f64
     }
 
     /// **Figure 5 quantity**: per-bin (min, mean, max) of per-node

@@ -115,7 +115,11 @@ mod tests {
         NamespaceSpec::with_target_items(24, 8_000, seed).generate()
     }
 
-    fn workload(snap: &dynmds_namespace::Snapshot, n_clients: usize, seed: u64) -> Box<GeneralWorkload> {
+    fn workload(
+        snap: &dynmds_namespace::Snapshot,
+        n_clients: usize,
+        seed: u64,
+    ) -> Box<GeneralWorkload> {
         Box::new(GeneralWorkload::new(
             WorkloadConfig { seed, ..Default::default() },
             n_clients,
@@ -137,11 +141,7 @@ mod tests {
     fn every_strategy_serves_operations() {
         for strategy in StrategyKind::ALL {
             let r = run_small(strategy);
-            assert!(
-                r.total_served() > 1_000,
-                "{strategy} served only {} ops",
-                r.total_served()
-            );
+            assert!(r.total_served() > 1_000, "{strategy} served only {} ops", r.total_served());
             assert!(r.avg_mds_throughput() > 10.0, "{strategy} throughput ~0");
             assert!(!r.latency.is_empty());
             assert!(r.latency.mean().unwrap() > 0.0);
@@ -168,10 +168,7 @@ mod tests {
         let sim = Simulation::new(cfg, snap, wl);
         // No warm-up: the discovery phase is what we want to see.
         let r = sim.run_measured(SimDuration::ZERO, SimDuration::from_secs(5));
-        assert!(
-            r.total_forwarded() > 0,
-            "initially ignorant clients must cause forwards"
-        );
+        assert!(r.total_forwarded() > 0, "initially ignorant clients must cause forwards");
         // But learning makes forwards a minority of traffic.
         let frac = r.total_forwarded() as f64 / r.total_received() as f64;
         assert!(frac < 0.5, "forward fraction {frac} stayed too high");

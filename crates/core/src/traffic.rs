@@ -33,12 +33,8 @@ impl Cluster {
                 if self.nodes[j].cache.peek(id) {
                     continue;
                 }
-                let parent = self
-                    .ns
-                    .parent(id)
-                    .ok()
-                    .flatten()
-                    .filter(|p| self.nodes[j].cache.peek(*p));
+                let parent =
+                    self.ns.parent(id).ok().flatten().filter(|p| self.nodes[j].cache.peek(*p));
                 let kind = if id == target { InsertKind::Target } else { InsertKind::Prefix };
                 self.nodes[j].cache.insert(id, parent, kind);
             }
@@ -126,7 +122,10 @@ mod tests {
     #[test]
     fn replicate_everywhere_installs_item_and_prefixes_on_all_live_nodes() {
         let mut c = tiny_cluster(StrategyKind::DynamicSubtree);
-        let file = c.ns.resolve("/home").map(|h| c.ns.walk(h).find(|&i| !c.ns.is_dir(i)).expect("a file")).unwrap();
+        let file =
+            c.ns.resolve("/home")
+                .map(|h| c.ns.walk(h).find(|&i| !c.ns.is_dir(i)).expect("a file"))
+                .unwrap();
         c.replicate_everywhere(SimTime::from_secs(1), file);
         assert!(c.is_replicated(file));
         assert_eq!(c.replicated_count(), 1);

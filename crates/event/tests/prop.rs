@@ -7,11 +7,8 @@ use proptest::prelude::*;
 
 /// Reference model: (time, seq) ordered pairs.
 fn reference_order(inserts: &[(u64, u32)]) -> Vec<u32> {
-    let mut tagged: Vec<(u64, usize, u32)> = inserts
-        .iter()
-        .enumerate()
-        .map(|(seq, &(t, v))| (t, seq, v))
-        .collect();
+    let mut tagged: Vec<(u64, usize, u32)> =
+        inserts.iter().enumerate().map(|(seq, &(t, v))| (t, seq, v)).collect();
     tagged.sort_by_key(|&(t, seq, _)| (t, seq));
     tagged.into_iter().map(|(_, _, v)| v).collect()
 }

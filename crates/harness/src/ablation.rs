@@ -108,10 +108,7 @@ pub fn run_ablate_dir_hash(scale: ExperimentScale) -> Vec<AblationPoint> {
     use dynmds_namespace::NamespaceSpec;
     use dynmds_workload::{GeneralWorkload, OpMix, WorkloadConfig};
 
-    let settings: Vec<(&str, usize)> = vec![
-        ("dir-hashing-off", 0),
-        ("dir-hashing-on", 200),
-    ];
+    let settings: Vec<(&str, usize)> = vec![("dir-hashing-off", 0), ("dir-hashing-on", 200)];
     parallel_map(&settings, |&(label, threshold)| {
         let mut cfg = scaling_config(StrategyKind::DynamicSubtree, ABLATE_CLUSTER, scale);
         cfg.n_clients = match scale {
@@ -157,10 +154,7 @@ pub fn run_ablate_journal_warming(scale: ExperimentScale) -> Vec<AblationPoint> 
     use dynmds_event::{SimDuration, SimTime};
     use dynmds_namespace::MdsId;
 
-    let settings: Vec<(&str, bool)> = vec![
-        ("warming-on", true),
-        ("warming-off", false),
-    ];
+    let settings: Vec<(&str, bool)> = vec![("warming-on", true), ("warming-off", false)];
     parallel_map(&settings, |&(label, warming)| {
         let mut cfg = scaling_config(StrategyKind::FileHash, ABLATE_CLUSTER, scale);
         cfg.journal_warming = warming;
@@ -272,10 +266,8 @@ pub fn run_ablate_shared_writes(scale: ExperimentScale) -> Vec<AblationPoint> {
     use dynmds_namespace::NamespaceSpec;
     use dynmds_workload::WriteCrowd;
 
-    let settings: Vec<(&str, bool)> = vec![
-        ("shared-writes-off", false),
-        ("shared-writes-on", true),
-    ];
+    let settings: Vec<(&str, bool)> =
+        vec![("shared-writes-off", false), ("shared-writes-on", true)];
     parallel_map(&settings, |&(label, shared)| {
         let mut cfg = scaling_config(StrategyKind::DynamicSubtree, ABLATE_CLUSTER, scale);
         cfg.n_clients = match scale {
@@ -289,11 +281,8 @@ pub fn run_ablate_shared_writes(scale: ExperimentScale) -> Vec<AblationPoint> {
         cfg.heartbeat = SimDuration::from_millis(500);
         cfg.costs.think_mean = SimDuration::from_millis(20);
         let snap = NamespaceSpec { users: 16, seed: 91, ..Default::default() }.generate();
-        let target = snap
-            .ns
-            .walk(snap.shared_roots[0])
-            .find(|&i| !snap.ns.is_dir(i))
-            .expect("shared file");
+        let target =
+            snap.ns.walk(snap.shared_roots[0]).find(|&i| !snap.ns.is_dir(i)).expect("shared file");
         let wl = Box::new(WriteCrowd::new(target, cfg.n_clients as usize));
         let mut sim = Simulation::with_start(
             cfg,
@@ -317,10 +306,7 @@ pub fn run_ablate_shared_writes(scale: ExperimentScale) -> Vec<AblationPoint> {
 /// with the probation segment on vs off, at a cache small enough for
 /// displacement to matter.
 pub fn run_ablate_probation(scale: ExperimentScale) -> Vec<AblationPoint> {
-    let settings: Vec<(&str, bool)> = vec![
-        ("near-tail-insertion", false),
-        ("mru-insertion", true),
-    ];
+    let settings: Vec<(&str, bool)> = vec![("near-tail-insertion", false), ("mru-insertion", true)];
     parallel_map(&settings, |&(label, disable)| {
         let mut cfg = scaling_config(StrategyKind::DirHash, ABLATE_CLUSTER, scale);
         cfg.disable_prefetch_probation = disable;

@@ -8,7 +8,8 @@
 //! figures), `sci` (the §5.2 scientific workload), `ablate-prefetch`
 //! `ablate-balance` `ablate-dirhash` `ablate-warming` `ablate-leases`
 //! `ablate-shared-writes` `ablate-probation` (design-choice ablations),
-//! or `all`.
+//! `all`, or `bench` (time every `--quick` stage and write
+//! `BENCH_sim.json` — see [`run_bench`]).
 //!
 //! Each subcommand prints the figure's data as an aligned table; `--csv`
 //! additionally writes machine-readable CSVs.
@@ -35,7 +36,9 @@ fn parse_args() -> Args {
             "--quick" => scale = ExperimentScale::Quick,
             "--csv" => csv_dir = Some(it.next().unwrap_or_else(|| usage("missing --csv DIR"))),
             "-h" | "--help" => usage(""),
-            other if !other.starts_with('-') && command.is_none() => command = Some(other.to_string()),
+            other if !other.starts_with('-') && command.is_none() => {
+                command = Some(other.to_string())
+            }
             other => usage(&format!("unknown argument: {other}")),
         }
     }
@@ -48,7 +51,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: experiments [--quick] [--csv DIR] \
-         <fig2|fig3|fig4|fig5|fig6|fig7|sci|ablate-prefetch|ablate-balance|ablate-dirhash|ablate-warming|ablate-leases|ablate-shared-writes|ablate-probation|all>"
+         <fig2|fig3|fig4|fig5|fig6|fig7|sci|ablate-prefetch|ablate-balance|ablate-dirhash|ablate-warming|ablate-leases|ablate-shared-writes|ablate-probation|all|bench>"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -64,8 +67,100 @@ fn emit(args: &Args, name: &str, table: &Table) {
     }
 }
 
+/// Benchmark mode: runs the fixed `--quick` scenario (every figure and
+/// ablation stage), timing each, plus one representative steady-state
+/// simulation whose served-operation count yields a simulated-ops/sec
+/// figure. Results go to `BENCH_sim.json` (in `--csv DIR` when given,
+/// else the working directory). Tables and CSVs are *not* emitted —
+/// this mode exists to track wall-clock, not figure output.
+fn run_bench(args: &Args) {
+    use std::time::Instant;
+    let scale = ExperimentScale::Quick;
+
+    // Wall-clock for the full quick suite on the seed revision of this
+    // repo, measured on the same class of machine the suite targets.
+    // Kept so speedup_vs_seed in BENCH_sim.json is self-describing.
+    const SEED_QUICK_WALL_S: f64 = 17.0;
+
+    // Representative simulation: the largest quick dynamic-subtree
+    // scaling point, the configuration the hot path is tuned for.
+    eprintln!("bench: representative steady-state run...");
+    let cfg = dynmds_harness::params::scaling_config(
+        dynmds_partition::StrategyKind::DynamicSubtree,
+        12,
+        scale,
+    );
+    let t0 = Instant::now();
+    let report = dynmds_harness::params::run_steady(cfg, scale);
+    let rep_wall_s = t0.elapsed().as_secs_f64();
+    let ops_simulated = report.total_served();
+    let ops_per_sec = ops_simulated as f64 / rep_wall_s.max(1e-9);
+
+    let mut stages: Vec<(&str, f64)> = Vec::new();
+    let mut stage = |name: &'static str, body: &mut dyn FnMut()| {
+        eprintln!("bench: {name}...");
+        let t = Instant::now();
+        body();
+        stages.push((name, t.elapsed().as_secs_f64()));
+    };
+    stage("fig2_fig3", &mut || drop(scaling::run_scaling(scale)));
+    stage("fig4", &mut || drop(hitrate::run_hitrate(scale)));
+    stage("fig5_fig6", &mut || drop(shiftrun::run_shift(scale)));
+    stage("fig7", &mut || drop(flashrun::run_flash(scale)));
+    stage("sci", &mut || drop(scirun::run_sci(scale)));
+    stage("ablate_prefetch", &mut || drop(ablation::run_ablate_prefetch(scale)));
+    stage("ablate_balance", &mut || drop(ablation::run_ablate_balance(scale)));
+    stage("ablate_dirhash", &mut || drop(ablation::run_ablate_dir_hash(scale)));
+    stage("ablate_leases", &mut || drop(ablation::run_ablate_leases(scale)));
+    stage("ablate_probation", &mut || drop(ablation::run_ablate_probation(scale)));
+    stage("ablate_shared_writes", &mut || drop(ablation::run_ablate_shared_writes(scale)));
+    stage("ablate_warming", &mut || drop(ablation::run_ablate_journal_warming(scale)));
+
+    let total_wall_s: f64 = stages.iter().map(|(_, s)| s).sum();
+
+    // Hand-rolled JSON: the workspace deliberately has no JSON dependency.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"scale\": \"quick\",\n");
+    json.push_str(&format!("  \"ops_simulated\": {ops_simulated},\n"));
+    json.push_str(&format!("  \"representative_wall_s\": {rep_wall_s:.3},\n"));
+    json.push_str(&format!("  \"ops_per_sec\": {ops_per_sec:.1},\n"));
+    json.push_str("  \"figures\": [\n");
+    for (i, (name, secs)) in stages.iter().enumerate() {
+        let comma = if i + 1 < stages.len() { "," } else { "" };
+        json.push_str(&format!("    {{\"name\": \"{name}\", \"wall_s\": {secs:.3}}}{comma}\n"));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"total_wall_s\": {total_wall_s:.3},\n"));
+    json.push_str(&format!("  \"seed_quick_wall_s\": {SEED_QUICK_WALL_S:.1},\n"));
+    json.push_str(&format!(
+        "  \"speedup_vs_seed\": {:.2}\n",
+        SEED_QUICK_WALL_S / total_wall_s.max(1e-9)
+    ));
+    json.push_str("}\n");
+
+    let path = match &args.csv_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).expect("create output dir");
+            format!("{dir}/BENCH_sim.json")
+        }
+        None => "BENCH_sim.json".to_string(),
+    };
+    std::fs::write(&path, &json).expect("write BENCH_sim.json");
+    println!(
+        "bench: {total_wall_s:.2}s for the quick suite ({:.2}x vs seed), \
+         {ops_per_sec:.0} simulated ops/s",
+        SEED_QUICK_WALL_S / total_wall_s.max(1e-9)
+    );
+    eprintln!("wrote {path}");
+}
+
 fn main() {
     let args = parse_args();
+    if args.command == "bench" {
+        run_bench(&args);
+        return;
+    }
     let scale = args.scale;
     let series_bin = match scale {
         ExperimentScale::Quick => SimDuration::from_secs(1),
@@ -122,10 +217,7 @@ fn main() {
             "time to serve 95% of the crowd: with TC {:.3}s, without TC {:.3}s",
             s.tc_t95, s.notc_t95
         );
-        println!(
-            "total forwards: with TC {}, without TC {}\n",
-            s.tc_forwards, s.notc_forwards
-        );
+        println!("total forwards: with TC {}, without TC {}\n", s.tc_forwards, s.notc_forwards);
     }
 
     if want("sci") {

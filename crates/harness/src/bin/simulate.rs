@@ -57,9 +57,8 @@ fn usage(err: &str) -> ! {
 }
 
 fn parse_fault(v: &str) -> (u16, u64) {
-    let (m, s) = v
-        .split_once('@')
-        .unwrap_or_else(|| usage(&format!("bad fault spec {v}; want MDS@SECS")));
+    let (m, s) =
+        v.split_once('@').unwrap_or_else(|| usage(&format!("bad fault spec {v}; want MDS@SECS")));
     (
         m.parse().unwrap_or_else(|_| usage("bad MDS index")),
         s.parse().unwrap_or_else(|_| usage("bad fault time")),
@@ -102,19 +101,31 @@ fn parse_args() -> Args {
                 }
             }
             "--mds" => a.n_mds = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --mds")),
-            "--clients" => a.n_clients = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --clients")),
-            "--items" => a.items = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --items")),
-            "--cache" => a.cache = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --cache")),
+            "--clients" => {
+                a.n_clients = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --clients"))
+            }
+            "--items" => {
+                a.items = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --items"))
+            }
+            "--cache" => {
+                a.cache = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --cache"))
+            }
             "--osds" => a.osds = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --osds")),
-            "--seconds" => a.seconds = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --seconds")),
-            "--warmup" => a.warmup = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --warmup")),
+            "--seconds" => {
+                a.seconds = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --seconds"))
+            }
+            "--warmup" => {
+                a.warmup = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --warmup"))
+            }
             "--seed" => a.seed = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --seed")),
             "--workload" => a.workload = next(&mut it, &f),
             "--leases" => a.leases = true,
             "--shared-writes" => a.shared_writes = true,
             "--no-balancing" => a.no_balancing = true,
             "--no-traffic-control" => a.no_traffic_control = true,
-            "--dir-hash" => a.dir_hash = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --dir-hash")),
+            "--dir-hash" => {
+                a.dir_hash = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --dir-hash"))
+            }
             "--fail" => {
                 let (m, s) = parse_fault(&next(&mut it, &f));
                 a.faults.push((m, s, false));
@@ -149,8 +160,8 @@ fn main() {
         cfg.traffic_control = false;
     }
 
-    let snapshot = NamespaceSpec::with_target_items(a.n_clients as usize, a.items, a.seed ^ 0xF5)
-        .generate();
+    let snapshot =
+        NamespaceSpec::with_target_items(a.n_clients as usize, a.items, a.seed ^ 0xF5).generate();
     let stats = snapshot.stats();
     println!(
         "snapshot: {} items ({} dirs, max depth {}); cluster: {} × {}-inode caches; {} clients\n",
@@ -231,10 +242,8 @@ fn main() {
     println!("\nlatency distribution:");
     print!("{}", report.latency.histogram(0.0005, 8).render(40));
 
-    let mut t = Table::new(
-        "per-node detail",
-        &["node", "served", "fwd", "hit%", "prefix%", "cache"],
-    );
+    let mut t =
+        Table::new("per-node detail", &["node", "served", "fwd", "hit%", "prefix%", "cache"]);
     for (i, n) in report.nodes.iter().enumerate() {
         t.row(&[
             format!("mds{i}"),

@@ -60,15 +60,17 @@ fn flash_config(scale: ExperimentScale, traffic_control: bool) -> SimConfig {
 fn flash_snapshot(seed: u64) -> (Snapshot, InodeId) {
     let snap = NamespaceSpec { users: 32, shared_trees: 4, seed, ..Default::default() }.generate();
     let shared = snap.shared_roots[0];
-    let target = snap
-        .ns
-        .walk(shared)
-        .find(|&id| !snap.ns.is_dir(id))
-        .expect("shared tree contains files");
+    let target =
+        snap.ns.walk(shared).find(|&id| !snap.ns.is_dir(id)).expect("shared tree contains files");
     (snap, target)
 }
 
-fn run_one(scale: ExperimentScale, traffic_control: bool, crowd_at: SimTime, duration: SimTime) -> SimReport {
+fn run_one(
+    scale: ExperimentScale,
+    traffic_control: bool,
+    crowd_at: SimTime,
+    duration: SimTime,
+) -> SimReport {
     let cfg = flash_config(scale, traffic_control);
     let (snap, target) = flash_snapshot(cfg.seed ^ 0xF7);
     let wl = Box::new(FlashCrowd::new(target, cfg.n_clients as usize));
@@ -151,11 +153,8 @@ pub fn flash_summary(r: &FlashResult, scale: ExperimentScale) -> FlashSummary {
 
 /// Merged, time-ordered served samples across nodes.
 fn serve_points(rep: &SimReport) -> Vec<(SimTime, f64)> {
-    let mut pts: Vec<(SimTime, f64)> = rep
-        .served_series
-        .iter()
-        .flat_map(|s| s.points().iter().copied())
-        .collect();
+    let mut pts: Vec<(SimTime, f64)> =
+        rep.served_series.iter().flat_map(|s| s.points().iter().copied()).collect();
     pts.sort_by_key(|&(t, _)| t);
     pts
 }

@@ -31,14 +31,11 @@ pub struct HitratePoint {
 pub fn run_hitrate(scale: ExperimentScale) -> Vec<HitratePoint> {
     let fracs = scale.cache_fractions();
     let total_items = scale.items_per_mds() * FIG4_CLUSTER as u64;
-    let configs: Vec<(StrategyKind, f64)> = StrategyKind::ALL
-        .iter()
-        .flat_map(|&s| fracs.iter().map(move |&f| (s, f)))
-        .collect();
+    let configs: Vec<(StrategyKind, f64)> =
+        StrategyKind::ALL.iter().flat_map(|&s| fracs.iter().map(move |&f| (s, f))).collect();
     parallel_map(&configs, |&(strategy, frac)| {
         let mut cfg = scaling_config(strategy, FIG4_CLUSTER, scale);
-        cfg.cache_capacity =
-            ((total_items as f64 * frac / FIG4_CLUSTER as f64) as usize).max(64);
+        cfg.cache_capacity = ((total_items as f64 * frac / FIG4_CLUSTER as f64) as usize).max(64);
         cfg.journal_capacity = cfg.cache_capacity;
         let report = run_steady(cfg, scale);
         HitratePoint {
@@ -58,7 +55,8 @@ pub fn fig4_table(points: &[HitratePoint]) -> Table {
     let mut headers: Vec<String> = vec!["cache_frac".to_string()];
     headers.extend(StrategyKind::ALL.iter().map(|s| s.label().to_string()));
     let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut t = Table::new("Figure 4: cache hit rate vs cache size (fraction of total metadata)", &hrefs);
+    let mut t =
+        Table::new("Figure 4: cache hit rate vs cache size (fraction of total metadata)", &hrefs);
     for f in fracs {
         let mut row = vec![format!("{f:.3}")];
         for s in StrategyKind::ALL {

@@ -1,8 +1,30 @@
 //! Order-preserving parallel map over independent simulation runs.
 
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
+/// One result slot. Each index is written by exactly one worker (the one
+/// that claimed it from the shared counter) and read only after all
+/// workers have joined, so the unsynchronized interior access is safe —
+/// workers never contend on a shared lock the way a whole-results mutex
+/// would force them to.
+struct Slot<R>(UnsafeCell<MaybeUninit<R>>);
+
+unsafe impl<R: Send> Sync for Slot<R> {}
+
+/// Worker-count override: `DYNMDS_THREADS` (a positive integer) wins over
+/// the detected parallelism, so oversubscribed CI machines and reviewers
+/// can pin reproducible timings.
+fn worker_count(n_items: usize) -> usize {
+    let detected = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let chosen = std::env::var("DYNMDS_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(detected);
+    chosen.min(n_items)
+}
 
 /// Applies `f` to every item on a pool of worker threads, returning the
 /// results in input order. Each item runs exactly once; panics in workers
@@ -17,35 +39,39 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
+    let workers = worker_count(n);
     if workers <= 1 {
         return items.iter().map(&f).collect();
     }
 
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let slots: Vec<Slot<R>> =
+        (0..n).map(|_| Slot(UnsafeCell::new(MaybeUninit::uninit()))).collect();
+    // Tracks how many slots were actually filled so a worker panic (which
+    // aborts the scope by propagating) can't leak into reads of
+    // uninitialized memory: we only assume all slots on full completion.
+    let filled = AtomicUsize::new(0);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let r = f(&items[i]);
-                results.lock()[i] = Some(r);
+                // Safety: index i was claimed exclusively via fetch_add.
+                unsafe { (*slots[i].0.get()).write(r) };
+                filled.fetch_add(1, Ordering::Release);
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
-    results
-        .into_inner()
+    assert_eq!(filled.load(Ordering::Acquire), n, "every slot filled");
+    slots
         .into_iter()
-        .map(|r| r.expect("every slot filled"))
+        // Safety: all n slots initialized (asserted above), read once each.
+        .map(|s| unsafe { s.0.into_inner().assume_init() })
         .collect()
 }
 
@@ -84,5 +110,27 @@ mod tests {
         });
         assert_eq!(out.len(), 37);
         assert_eq!(calls.load(Ordering::Relaxed), 37);
+    }
+
+    #[test]
+    fn results_are_not_copy_types() {
+        let items: Vec<u64> = (0..50).collect();
+        let out = parallel_map(&items, |&x| format!("v{x}"));
+        assert_eq!(out[49], "v49");
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn thread_env_override_is_honoured() {
+        // Worker-count selection is pure given the env value; exercise the
+        // parse + clamp logic directly.
+        std::env::set_var("DYNMDS_THREADS", "2");
+        assert_eq!(worker_count(8), 2);
+        assert_eq!(worker_count(1), 1, "never more workers than items");
+        std::env::set_var("DYNMDS_THREADS", "0");
+        assert!(worker_count(8) >= 1, "invalid override falls back");
+        std::env::set_var("DYNMDS_THREADS", "not-a-number");
+        assert!(worker_count(8) >= 1);
+        std::env::remove_var("DYNMDS_THREADS");
     }
 }

@@ -38,10 +38,8 @@ pub struct ScalePoint {
 /// Runs the full sweep: every strategy × every cluster size, in parallel.
 pub fn run_scaling(scale: ExperimentScale) -> Vec<ScalePoint> {
     let sizes = scale.cluster_sizes();
-    let configs: Vec<(StrategyKind, u16)> = StrategyKind::ALL
-        .iter()
-        .flat_map(|&s| sizes.iter().map(move |&n| (s, n)))
-        .collect();
+    let configs: Vec<(StrategyKind, u16)> =
+        StrategyKind::ALL.iter().flat_map(|&s| sizes.iter().map(move |&n| (s, n))).collect();
     parallel_map(&configs, |&(strategy, n_mds)| {
         let report = run_steady(scaling_config(strategy, n_mds, scale), scale);
         let received = report.total_received();
@@ -105,7 +103,8 @@ pub fn fig3_table(points: &[ScalePoint]) -> Table {
     let mut headers: Vec<String> = vec!["mds".to_string()];
     headers.extend(FIG3.iter().map(|s| s.label().to_string()));
     let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut t = Table::new("Figure 3: % of cache consumed by prefix inodes vs cluster size", &hrefs);
+    let mut t =
+        Table::new("Figure 3: % of cache consumed by prefix inodes vs cluster size", &hrefs);
     for n in sizes {
         let mut row = vec![n.to_string()];
         for s in FIG3 {

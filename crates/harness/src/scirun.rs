@@ -42,13 +42,7 @@ fn sci_snapshot(scale: ExperimentScale, seed: u64) -> (Snapshot, Vec<InodeId>) {
         ExperimentScale::Quick => 24usize,
         ExperimentScale::Full => 80,
     };
-    let snap = NamespaceSpec {
-        users,
-        shared_trees: 6,
-        seed,
-        ..Default::default()
-    }
-    .generate();
+    let snap = NamespaceSpec { users, shared_trees: 6, seed, ..Default::default() }.generate();
     // Burst targets: directories inside the shared project trees.
     let mut shared_dirs = Vec::new();
     for &root in &snap.shared_roots {

@@ -72,10 +72,7 @@ fn run_one(strategy: StrategyKind, scale: ExperimentScale) -> SimReport {
     for &h in reserve_homes {
         per_mds[preview.authority(&snap.ns, h).index()].push(h);
     }
-    let destinations = per_mds
-        .into_iter()
-        .max_by_key(|v| v.len())
-        .expect("non-empty cluster");
+    let destinations = per_mds.into_iter().max_by_key(|v| v.len()).expect("non-empty cluster");
     assert!(!destinations.is_empty(), "reserve homes must exist");
 
     let base = GeneralWorkload::new(

@@ -48,10 +48,8 @@ fn fig2_table_marks_missing_cells() {
 
 #[test]
 fn fig3_table_omits_lazy_hybrid() {
-    let points: Vec<ScalePoint> = StrategyKind::ALL
-        .iter()
-        .map(|&s| scale_point(s, 5, 1000.0))
-        .collect();
+    let points: Vec<ScalePoint> =
+        StrategyKind::ALL.iter().map(|&s| scale_point(s, 5, 1000.0)).collect();
     let t = fig3_table(&points);
     let csv = t.to_csv();
     assert!(!csv.contains("LazyHybrid"), "the paper's Figure 3 has four lines");
@@ -76,10 +74,8 @@ fn fig4_table_sorts_fractions() {
 
 #[test]
 fn context_and_sci_tables_render_every_point() {
-    let pts: Vec<ScalePoint> = StrategyKind::ALL
-        .iter()
-        .map(|&s| scale_point(s, 5, 1000.0))
-        .collect();
+    let pts: Vec<ScalePoint> =
+        StrategyKind::ALL.iter().map(|&s| scale_point(s, 5, 1000.0)).collect();
     assert_eq!(context_table(&pts).len(), 5);
 
     let sci: Vec<SciPoint> = StrategyKind::ALL

@@ -25,7 +25,8 @@ impl AsciiChart {
     /// Renders the chart. Later series overdraw earlier ones where they
     /// collide.
     pub fn render(&self) -> String {
-        let all: Vec<(f64, f64)> = self.series.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+        let all: Vec<(f64, f64)> =
+            self.series.iter().flat_map(|(_, p)| p.iter().copied()).collect();
         if all.is_empty() {
             return format!("# {}\n(empty chart)\n", self.title);
         }
@@ -52,7 +53,8 @@ impl AsciiChart {
         for (glyph, points) in &self.series {
             for &(x, y) in points {
                 let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
-                let cy = ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
+                let cy =
+                    ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
                 let row = self.height - 1 - cy.min(self.height - 1);
                 grid[row][cx.min(self.width - 1)] = *glyph;
             }

@@ -40,11 +40,12 @@ impl TimeSeries {
     }
 
     /// Samples with `start <= t < end`.
-    pub fn window(&self, start: SimTime, end: SimTime) -> impl Iterator<Item = (SimTime, f64)> + '_ {
-        self.points
-            .iter()
-            .copied()
-            .filter(move |&(t, _)| t >= start && t < end)
+    pub fn window(
+        &self,
+        start: SimTime,
+        end: SimTime,
+    ) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.points.iter().copied().filter(move |&(t, _)| t >= start && t < end)
     }
 
     /// Mean of values in `[start, end)`, or `None` when empty.
@@ -96,12 +97,14 @@ impl TimeSeries {
 
     /// Event-rate series: treats each sample as one event (ignoring its
     /// value) and reports events per second per bin.
-    pub fn rate_per_sec(&self, start: SimTime, end: SimTime, bin: SimDuration) -> Vec<(SimTime, f64)> {
+    pub fn rate_per_sec(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        bin: SimDuration,
+    ) -> Vec<(SimTime, f64)> {
         let secs = bin.as_secs_f64();
-        self.binned(start, end, bin)
-            .into_iter()
-            .map(|(t, _, n)| (t, n as f64 / secs))
-            .collect()
+        self.binned(start, end, bin).into_iter().map(|(t, _, n)| (t, n as f64 / secs)).collect()
     }
 }
 
@@ -155,7 +158,8 @@ mod tests {
         for i in 0..100 {
             s.push(SimTime::from_millis(i * 10), 1.0); // 100 events over 1s
         }
-        let rates = s.rate_per_sec(SimTime::ZERO, SimTime::from_secs(1), SimDuration::from_millis(500));
+        let rates =
+            s.rate_per_sec(SimTime::ZERO, SimTime::from_secs(1), SimDuration::from_millis(500));
         assert_eq!(rates.len(), 2);
         assert!((rates[0].1 - 100.0).abs() < 1e-9, "50 events / 0.5s");
         assert!((rates[1].1 - 100.0).abs() < 1e-9);

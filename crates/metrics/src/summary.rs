@@ -31,16 +31,12 @@ impl Summary {
 
     /// Smallest sample, or `None` if empty.
     pub fn min(&self) -> Option<f64> {
-        self.samples.iter().copied().fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.min(v)))
-        })
+        self.samples.iter().copied().fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
     }
 
     /// Largest sample, or `None` if empty.
     pub fn max(&self) -> Option<f64> {
-        self.samples.iter().copied().fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.max(v)))
-        })
+        self.samples.iter().copied().fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
     /// Arithmetic mean, or `None` if empty.
@@ -78,11 +74,7 @@ impl Summary {
     /// Population standard deviation, or `None` with < 1 sample.
     pub fn std_dev(&self) -> Option<f64> {
         let mean = self.mean()?;
-        let var = self
-            .samples
-            .iter()
-            .map(|v| (v - mean) * (v - mean))
-            .sum::<f64>()
+        let var = self.samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
             / self.samples.len() as f64;
         Some(var.sqrt())
     }

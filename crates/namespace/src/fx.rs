@@ -1,0 +1,132 @@
+//! FxHash: the rustc-style multiplicative hasher, for hot maps keyed by
+//! dense ids.
+//!
+//! The simulator's per-op path probes several `HashMap`s keyed by
+//! [`InodeId`](crate::InodeId) (cache entries, delegation points, balancer
+//! counters). The std default SipHash is keyed and DoS-resistant — wasted
+//! work here, where keys are internally generated sequential ids and the
+//! tables are rebuilt every run. Fx costs one rotate + xor + multiply per
+//! word, is deterministic across processes (unlike `RandomState`), and
+//! benches ~3–5× faster on point lookups of integer keys.
+//!
+//! Not DoS-resistant: never use for attacker-controlled keys.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx state. One multiply per 8-byte word.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` with Fx hashing.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` with Fx hashing.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// An `FxHashMap` with at least `cap` capacity.
+pub fn fx_map_with_capacity<K, V>(cap: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(cap, FxBuildHasher::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_one(42u64), hash_one(42u64));
+        assert_eq!(hash_one("abc"), hash_one("abc"));
+    }
+
+    #[test]
+    fn distinguishes_sequential_ids() {
+        let hashes: std::collections::HashSet<u64> = (0u64..10_000).map(hash_one).collect();
+        assert_eq!(hashes.len(), 10_000, "no collisions on dense id range");
+    }
+
+    #[test]
+    fn map_and_set_behave() {
+        let mut m: FxHashMap<u64, u64> = fx_map_with_capacity(16);
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.get(&500), Some(&1000));
+        assert_eq!(m.len(), 1000);
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+    }
+
+    #[test]
+    fn byte_tail_handled() {
+        // write() path with non-multiple-of-8 lengths.
+        assert_ne!(hash_one("a"), hash_one("b"));
+        assert_ne!(hash_one("abcdefgh"), hash_one("abcdefghi"));
+    }
+}

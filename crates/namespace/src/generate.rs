@@ -69,10 +69,7 @@ impl NamespaceSpec {
     /// Generates the snapshot.
     pub fn generate(&self) -> Snapshot {
         assert!(self.users > 0, "at least one user tree required");
-        assert!(
-            self.depth_p > 0.0 && self.depth_p <= 1.0,
-            "depth_p must be in (0, 1]"
-        );
+        assert!(self.depth_p > 0.0 && self.depth_p <= 1.0, "depth_p must be in (0, 1]");
         let mut rng = SimRng::seed_from_u64(self.seed);
         let mut ns = Namespace::new();
         let root = ns.root();
@@ -229,10 +226,8 @@ mod tests {
         let a = spec.generate();
         let b = spec.generate();
         assert_eq!(a.ns.total_items(), b.ns.total_items());
-        let pa: Vec<String> =
-            a.ns.walk(a.ns.root()).map(|i| a.ns.path_of(i).unwrap()).collect();
-        let pb: Vec<String> =
-            b.ns.walk(b.ns.root()).map(|i| b.ns.path_of(i).unwrap()).collect();
+        let pa: Vec<String> = a.ns.walk(a.ns.root()).map(|i| a.ns.path_of(i).unwrap()).collect();
+        let pb: Vec<String> = b.ns.walk(b.ns.root()).map(|i| b.ns.path_of(i).unwrap()).collect();
         assert_eq!(pa, pb);
     }
 
@@ -273,10 +268,7 @@ mod tests {
             let total = snap.ns.total_items();
             let lo = target / 2;
             let hi = target * 2;
-            assert!(
-                (lo..hi).contains(&total),
-                "target {target} produced {total}"
-            );
+            assert!((lo..hi).contains(&total), "target {target} produced {total}");
         }
     }
 
@@ -294,13 +286,9 @@ mod tests {
 
     #[test]
     fn trees_have_depth_variation() {
-        let snap = NamespaceSpec {
-            users: 30,
-            mean_dirs_per_user: 20.0,
-            seed: 13,
-            ..Default::default()
-        }
-        .generate();
+        let snap =
+            NamespaceSpec { users: 30, mean_dirs_per_user: 20.0, seed: 13, ..Default::default() }
+                .generate();
         let st = snap.stats();
         assert!(st.max_depth > 3, "expected nesting, got max depth {}", st.max_depth);
     }

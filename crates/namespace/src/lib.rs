@@ -16,12 +16,14 @@
 //! paper's §4.5 design — so a directory and its entries are a single unit
 //! for storage, caching and prefetching purposes.
 
+pub mod fx;
 pub mod generate;
 pub mod ids;
 pub mod inode;
 pub mod persist;
 pub mod tree;
 
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use generate::{NamespaceSpec, Snapshot, SnapshotStats};
 pub use ids::{ClientId, InodeId, MdsId};
 pub use inode::{FileType, Inode, Permissions};

@@ -203,7 +203,7 @@ impl Namespace {
                 return Err(ImportError::DuplicateName);
             }
         }
-        Ok(Namespace { nodes, root: InodeId(0), live_files, live_dirs })
+        Ok(Namespace { nodes, root: InodeId(0), live_files, live_dirs, move_epoch: 0 })
     }
 
     /// Structural self-check used after imports and in tests: parents are
@@ -244,21 +244,14 @@ mod tests {
         let mut ns = NamespaceSpec { users: 6, seed: 21, ..Default::default() }.generate().ns;
         // Exercise tombstones, renames, links.
         let home = ns.resolve("/home/user0000").unwrap();
-        let victim = ns
-            .children(home)
-            .unwrap()
-            .find(|&(_, c)| !ns.is_dir(c))
-            .map(|(n, _)| n.to_string());
+        let victim =
+            ns.children(home).unwrap().find(|&(_, c)| !ns.is_dir(c)).map(|(n, _)| n.to_string());
         if let Some(name) = victim {
             ns.unlink(home, &name).unwrap();
         }
         let file = ns.walk(ns.root()).find(|&i| !ns.is_dir(i)).unwrap();
         ns.link(file, home, "hardlink").unwrap();
-        let dir = ns
-            .children(home)
-            .unwrap()
-            .find(|&(_, c)| ns.is_dir(c))
-            .map(|(_, c)| c);
+        let dir = ns.children(home).unwrap().find(|&(_, c)| ns.is_dir(c)).map(|(_, c)| c);
         if let Some(d) = dir {
             let parent = ns.parent(d).unwrap().unwrap();
             let name = ns.name(d).unwrap().to_string();
@@ -302,13 +295,8 @@ mod tests {
     fn tombstones_keep_ids_stable() {
         let ns = mutated_namespace();
         let image = ns.to_image();
-        let dead: Vec<usize> = image
-            .slots
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.is_none())
-            .map(|(i, _)| i)
-            .collect();
+        let dead: Vec<usize> =
+            image.slots.iter().enumerate().filter(|(_, s)| s.is_none()).map(|(i, _)| i).collect();
         assert!(!dead.is_empty(), "fixture has tombstones");
         let back = Namespace::from_image(&image).unwrap();
         for idx in dead {
@@ -341,12 +329,8 @@ mod tests {
         assert_eq!(err_of(&bad), Some(ImportError::BadLink));
 
         let mut bad = good.clone();
-        bad.slots
-            .iter_mut()
-            .filter_map(|s| s.as_mut())
-            .next()
-            .expect("a live slot exists")
-            .ftype = 9;
+        bad.slots.iter_mut().filter_map(|s| s.as_mut()).next().expect("a live slot exists").ftype =
+            9;
         assert_eq!(err_of(&bad), Some(ImportError::BadKind));
 
         assert_eq!(err_of(&NamespaceImage::default()), Some(ImportError::BadRoot));

@@ -66,6 +66,14 @@ pub struct Namespace {
     pub(crate) root: InodeId,
     pub(crate) live_files: u64,
     pub(crate) live_dirs: u64,
+    /// Bumped whenever an existing live entry's primary parent or name
+    /// changes — rename of a primary dentry, or hard-link promotion when
+    /// a primary dentry is unlinked. Creations and deaths do *not* bump
+    /// it: a new id cannot appear in any previously computed ancestor
+    /// chain, and a dying entry has no live descendants (directories must
+    /// be empty to unlink). Placement caches keyed on ancestor chains or
+    /// primary paths stay valid exactly while this counter is unchanged.
+    pub(crate) move_epoch: u64,
 }
 
 impl Namespace {
@@ -80,7 +88,13 @@ impl Namespace {
             children: Some(BTreeMap::new()),
             alive: true,
         };
-        Namespace { nodes: vec![root], root: root_id, live_files: 0, live_dirs: 1 }
+        Namespace { nodes: vec![root], root: root_id, live_files: 0, live_dirs: 1, move_epoch: 0 }
+    }
+
+    /// Monotonic counter of primary-dentry moves (see the field doc); the
+    /// invalidation stamp for path- and ancestry-derived caches.
+    pub fn move_epoch(&self) -> u64 {
+        self.move_epoch
     }
 
     /// Root directory id.
@@ -109,17 +123,11 @@ impl Namespace {
     }
 
     fn node(&self, id: InodeId) -> Result<&Node, NamespaceError> {
-        self.nodes
-            .get(id.index())
-            .filter(|n| n.alive)
-            .ok_or(NamespaceError::NotFound)
+        self.nodes.get(id.index()).filter(|n| n.alive).ok_or(NamespaceError::NotFound)
     }
 
     fn node_mut(&mut self, id: InodeId) -> Result<&mut Node, NamespaceError> {
-        self.nodes
-            .get_mut(id.index())
-            .filter(|n| n.alive)
-            .ok_or(NamespaceError::NotFound)
+        self.nodes.get_mut(id.index()).filter(|n| n.alive).ok_or(NamespaceError::NotFound)
     }
 
     /// Whether `id` refers to a live entry.
@@ -210,6 +218,16 @@ impl Namespace {
         AncestorIter { ns: self, next }
     }
 
+    /// Fills `buf` with the ancestors of `id`, **root first** — the
+    /// reverse of [`ancestors`](Self::ancestors), and likewise excluding
+    /// `id` itself. `buf` is cleared first; with sufficient capacity the
+    /// call does not allocate.
+    pub fn ancestors_into(&self, id: InodeId, buf: &mut Vec<InodeId>) {
+        buf.clear();
+        buf.extend(self.ancestors(id));
+        buf.reverse();
+    }
+
     /// Depth of `id` below the root (root is depth 0).
     pub fn depth(&self, id: InodeId) -> Result<usize, NamespaceError> {
         self.node(id)?;
@@ -249,11 +267,7 @@ impl Namespace {
             children,
             alive: true,
         });
-        let map = self
-            .nodes[dir.index()]
-            .children
-            .as_mut()
-            .expect("checked directory above");
+        let map = self.nodes[dir.index()].children.as_mut().expect("checked directory above");
         map.insert(name.into(), id);
         if ftype.is_dir() {
             self.live_dirs += 1;
@@ -334,11 +348,7 @@ impl Namespace {
                 return Err(NamespaceError::NotEmpty);
             }
         }
-        self.nodes[dir.index()]
-            .children
-            .as_mut()
-            .expect("dir checked by lookup")
-            .remove(name);
+        self.nodes[dir.index()].children.as_mut().expect("dir checked by lookup").remove(name);
         let node = &mut self.nodes[id.index()];
         node.inode.nlink -= 1;
         let was_primary = node.parent == Some(dir) && &*node.name == name;
@@ -356,6 +366,7 @@ impl Namespace {
                 let node = &mut self.nodes[id.index()];
                 node.parent = Some(p);
                 node.name = n;
+                self.move_epoch += 1;
             }
         }
         Ok(id)
@@ -418,6 +429,7 @@ impl Namespace {
         if node.parent == Some(old_dir) && &*node.name == old_name {
             node.parent = Some(new_dir);
             node.name = new_name.into();
+            self.move_epoch += 1;
         }
         Ok(id)
     }
@@ -467,11 +479,7 @@ impl Namespace {
 
     /// All live ids, ascending.
     pub fn live_ids(&self) -> impl Iterator<Item = InodeId> + '_ {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.alive)
-            .map(|(i, _)| InodeId(i as u64))
+        self.nodes.iter().enumerate().filter(|(_, n)| n.alive).map(|(i, _)| InodeId(i as u64))
     }
 }
 
@@ -711,12 +719,8 @@ mod tests {
     fn walk_is_preorder_name_ordered() {
         let (mut ns, home, _, _) = sample();
         ns.mkdir(home, "bob", perm()).unwrap();
-        let order: Vec<String> =
-            ns.walk(ns.root()).map(|id| ns.path_of(id).unwrap()).collect();
-        assert_eq!(
-            order,
-            vec!["/", "/home", "/home/alice", "/home/alice/notes.txt", "/home/bob"]
-        );
+        let order: Vec<String> = ns.walk(ns.root()).map(|id| ns.path_of(id).unwrap()).collect();
+        assert_eq!(order, vec!["/", "/home", "/home/alice", "/home/alice/notes.txt", "/home/bob"]);
     }
 
     #[test]

@@ -21,11 +21,15 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (any::<usize>(), any::<u8>()).prop_map(|(parent, name)| Op::Mkdir { parent, name }),
         (any::<usize>(), any::<u8>()).prop_map(|(parent, name)| Op::Create { parent, name }),
         (any::<usize>(), any::<usize>()).prop_map(|(dir, child)| Op::Unlink { dir, child }),
-        (any::<usize>(), any::<usize>(), any::<usize>(), any::<u8>())
-            .prop_map(|(src_dir, child, dst_dir, name)| Op::Rename { src_dir, child, dst_dir, name }),
+        (any::<usize>(), any::<usize>(), any::<usize>(), any::<u8>()).prop_map(
+            |(src_dir, child, dst_dir, name)| Op::Rename { src_dir, child, dst_dir, name }
+        ),
         (any::<usize>(), any::<u16>()).prop_map(|(target, mode)| Op::Chmod { target, mode }),
-        (any::<usize>(), any::<usize>(), any::<u8>())
-            .prop_map(|(target, dir, name)| Op::Link { target, dir, name }),
+        (any::<usize>(), any::<usize>(), any::<u8>()).prop_map(|(target, dir, name)| Op::Link {
+            target,
+            dir,
+            name
+        }),
     ]
 }
 

@@ -8,6 +8,8 @@
 
 use dynmds_namespace::{InodeId, MdsId, Namespace};
 
+use crate::memo::PlacementMemo;
+
 /// Stable 64-bit FNV-1a over a byte string, finished with a Murmur3-style
 /// avalanche so the low bits (which `% n` consumes) mix fully.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -55,13 +57,17 @@ pub enum HashGranularity {
 pub struct HashPartition {
     n: u16,
     granularity: HashGranularity,
+    /// Memoized authority per inode. The placement itself is stateless,
+    /// so the slot stamp tracks only [`Namespace::move_epoch`] — path
+    /// hashes change exactly when a primary dentry moves.
+    memo: PlacementMemo<MdsId>,
 }
 
 impl HashPartition {
     /// Creates a placement for an `n`-server cluster.
     pub fn new(n: u16, granularity: HashGranularity) -> Self {
         assert!(n > 0, "cluster must be non-empty");
-        HashPartition { n, granularity }
+        HashPartition { n, granularity, memo: PlacementMemo::new() }
     }
 
     /// Cluster size.
@@ -81,6 +87,20 @@ impl HashPartition {
     /// inode lives with its contents). Under [`HashGranularity::File`],
     /// everything maps by its own full path.
     pub fn authority(&self, ns: &Namespace, id: InodeId) -> MdsId {
+        if !ns.is_alive(id) {
+            // Tombstones bypass the memo: their death bumps no epoch.
+            return self.compute(ns, id);
+        }
+        let stamp = self.memo.stamp(ns);
+        if let Some(m) = self.memo.get(id, stamp) {
+            return m;
+        }
+        let m = self.compute(ns, id);
+        self.memo.set(id, stamp, m);
+        m
+    }
+
+    fn compute(&self, ns: &Namespace, id: InodeId) -> MdsId {
         let key_node = match self.granularity {
             HashGranularity::File => id,
             HashGranularity::Directory => {

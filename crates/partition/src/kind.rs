@@ -44,9 +44,9 @@ impl StrategyKind {
     /// hashing scatters siblings and must use a per-inode table.
     pub fn embeds_inodes(self) -> bool {
         match self {
-            StrategyKind::StaticSubtree
-            | StrategyKind::DynamicSubtree
-            | StrategyKind::DirHash => true,
+            StrategyKind::StaticSubtree | StrategyKind::DynamicSubtree | StrategyKind::DirHash => {
+                true
+            }
             StrategyKind::FileHash | StrategyKind::LazyHybrid => false,
         }
     }

@@ -18,11 +18,10 @@
 //! generation it has applied; an access pays for each newer event on a
 //! strict ancestor.
 
-use std::collections::HashMap;
-
-use dynmds_namespace::{InodeId, MdsId, Namespace};
+use dynmds_namespace::{FxHashMap, InodeId, MdsId, Namespace};
 
 use crate::hash::path_hash;
+use crate::memo::PlacementMemo;
 
 /// What kind of directory event must be propagated.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,8 +62,11 @@ pub struct LazyHybrid {
     n: u16,
     next_gen: u64,
     pending: Vec<PendingUpdate>,
-    applied: HashMap<InodeId, u64>,
+    applied: FxHashMap<InodeId, u64>,
     lifetime: PendingStats,
+    /// Memoized authority per inode; stamped by `move_epoch` only, since
+    /// LH placement is a pure hash of the item's current path.
+    memo: PlacementMemo<MdsId>,
 }
 
 impl LazyHybrid {
@@ -75,8 +77,9 @@ impl LazyHybrid {
             n,
             next_gen: 1,
             pending: Vec::new(),
-            applied: HashMap::new(),
+            applied: FxHashMap::default(),
             lifetime: PendingStats::default(),
+            memo: PlacementMemo::new(),
         }
     }
 
@@ -88,8 +91,17 @@ impl LazyHybrid {
     /// The authoritative MDS for `id` — hash of the item's full *current*
     /// path (stale placements are what the `Move` updates repair).
     pub fn authority(&self, ns: &Namespace, id: InodeId) -> MdsId {
+        if !ns.is_alive(id) {
+            return path_hash("/", self.n);
+        }
+        let stamp = self.memo.stamp(ns);
+        if let Some(m) = self.memo.get(id, stamp) {
+            return m;
+        }
         let path = ns.path_of(id).unwrap_or_else(|_| "/".to_string());
-        path_hash(&path, self.n)
+        let m = path_hash(&path, self.n);
+        self.memo.set(id, stamp, m);
+        m
     }
 
     /// Records a permission change on directory `dir`; every file nested

@@ -20,11 +20,13 @@
 pub mod hash;
 pub mod kind;
 pub mod lazy;
+pub mod memo;
 pub mod subtree;
 
 pub use hash::{dentry_hash, path_hash, HashGranularity, HashPartition};
 pub use kind::StrategyKind;
 pub use lazy::{LazyHybrid, LazyUpdateKind, PendingStats};
+pub use memo::PlacementMemo;
 pub use subtree::SubtreePartition;
 
 use dynmds_namespace::{InodeId, MdsId, Namespace};

@@ -1,0 +1,171 @@
+//! Epoch-stamped memoization of placement lookups.
+//!
+//! Authority resolution is on the simulator's per-operation hot path:
+//! subtree placement walks the ancestor chain to the nearest delegation
+//! point, and the hash placements build the item's full path string before
+//! hashing it. Both answers are pure functions of (a) the placement's own
+//! state and (b) the shape of the namespace above the item — so they can
+//! be cached per inode and invalidated wholesale when either input
+//! changes.
+//!
+//! [`PlacementMemo`] is that cache: a dense table indexed by
+//! `InodeId::index()` (ids are allocated sequentially and never reused),
+//! each slot carrying the *stamp* it was computed under. The current
+//! stamp is `local_epoch + ns.move_epoch()`:
+//!
+//! * `local_epoch` counts placement-state changes (delegation /
+//!   undelegation for subtree partitions; constant for the stateless hash
+//!   placements), and
+//! * [`Namespace::move_epoch`] counts primary-dentry moves — the only
+//!   namespace mutations that can change an existing item's ancestor
+//!   chain or path.
+//!
+//! Both counters are monotonic, so their sum strictly increases on any
+//! relevant change and a stale slot can never be mistaken for a fresh
+//! one. Slots start at stamp 0, which is unreachable (`local_epoch`
+//! starts at 1), so "never computed" and "stale" are the same case.
+//! There is no per-slot invalidation and no hook the cluster has to
+//! remember to call — correctness falls out of reading the stamp on
+//! every lookup.
+//!
+//! Tombstoned (dead) ids must **bypass** the memo: the naive resolution
+//! rules treat them specially (a dead id's ancestor walk is empty) and
+//! their slots would otherwise outlive the id's death, since deaths do
+//! not bump any epoch.
+
+use std::cell::{Cell, RefCell};
+
+use dynmds_namespace::{InodeId, Namespace};
+
+/// A dense, epoch-stamped cache of per-inode placement answers.
+///
+/// `T` is the memoized answer — e.g. `MdsId` for hash placements, or
+/// `(InodeId, MdsId)` (governing delegation point + authority) for
+/// subtree placements. Interior mutability keeps the owning partition's
+/// read API (`authority(&self, ..)`) unchanged.
+pub struct PlacementMemo<T> {
+    /// `(stamp, answer)` per `InodeId::index()`; stamp 0 = never valid.
+    slots: RefCell<Vec<(u64, T)>>,
+    /// Placement-state epoch; starts at 1 so stamps are always ≥ 1.
+    epoch: Cell<u64>,
+}
+
+impl<T: Copy> PlacementMemo<T> {
+    /// An empty memo at local epoch 1.
+    pub fn new() -> Self {
+        PlacementMemo { slots: RefCell::new(Vec::new()), epoch: Cell::new(1) }
+    }
+
+    /// Invalidates every slot by advancing the local epoch. Call on any
+    /// placement-state change (delegate, undelegate).
+    pub fn bump(&self) {
+        self.epoch.set(self.epoch.get() + 1);
+    }
+
+    /// The stamp a slot must carry to be valid right now.
+    #[inline]
+    pub fn stamp(&self, ns: &Namespace) -> u64 {
+        self.epoch.get() + ns.move_epoch()
+    }
+
+    /// The memoized answer for `id`, if computed under `stamp`.
+    #[inline]
+    pub fn get(&self, id: InodeId, stamp: u64) -> Option<T> {
+        match self.slots.borrow().get(id.index()) {
+            Some(&(s, v)) if s == stamp => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Records `val` for `id` under `stamp`, growing the table as needed.
+    pub fn set(&self, id: InodeId, stamp: u64, val: T) {
+        let mut slots = self.slots.borrow_mut();
+        let idx = id.index();
+        if idx >= slots.len() {
+            // Stamp 0 marks the padding slots invalid; the payload is
+            // arbitrary and never read.
+            slots.resize(idx + 1, (0, val));
+        }
+        slots[idx] = (stamp, val);
+    }
+
+    /// Records `val` for every id in `ids` under `stamp` — one borrow for
+    /// a whole resolved walk.
+    pub fn fill(&self, ids: &[InodeId], stamp: u64, val: T) {
+        if ids.is_empty() {
+            return;
+        }
+        let mut slots = self.slots.borrow_mut();
+        let max_idx = ids.iter().map(|i| i.index()).max().unwrap();
+        if max_idx >= slots.len() {
+            slots.resize(max_idx + 1, (0, val));
+        }
+        for &id in ids {
+            slots[id.index()] = (stamp, val);
+        }
+    }
+}
+
+impl<T: Copy> Default for PlacementMemo<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynmds_namespace::{MdsId, Permissions};
+
+    #[test]
+    fn miss_then_hit_then_stale() {
+        let ns = Namespace::new();
+        let memo: PlacementMemo<MdsId> = PlacementMemo::new();
+        let s = memo.stamp(&ns);
+        assert_eq!(memo.get(InodeId(0), s), None, "cold slot misses");
+        memo.set(InodeId(0), s, MdsId(7));
+        assert_eq!(memo.get(InodeId(0), s), Some(MdsId(7)));
+        memo.bump();
+        let s2 = memo.stamp(&ns);
+        assert_ne!(s, s2);
+        assert_eq!(memo.get(InodeId(0), s2), None, "bump invalidates");
+    }
+
+    #[test]
+    fn namespace_moves_invalidate() {
+        let mut ns = Namespace::new();
+        let a = ns.mkdir(ns.root(), "a", Permissions::directory(0)).unwrap();
+        let b = ns.mkdir(ns.root(), "b", Permissions::directory(0)).unwrap();
+        let f = ns.create_file(a, "f", Permissions::shared(0)).unwrap();
+        let memo: PlacementMemo<MdsId> = PlacementMemo::new();
+        let s = memo.stamp(&ns);
+        memo.set(f, s, MdsId(3));
+        ns.rename(a, "f", b, "f").unwrap();
+        assert_eq!(memo.get(f, memo.stamp(&ns)), None, "rename staled the slot");
+    }
+
+    #[test]
+    fn creations_do_not_invalidate() {
+        let mut ns = Namespace::new();
+        let a = ns.mkdir(ns.root(), "a", Permissions::directory(0)).unwrap();
+        let memo: PlacementMemo<MdsId> = PlacementMemo::new();
+        let s = memo.stamp(&ns);
+        memo.set(a, s, MdsId(1));
+        ns.create_file(a, "new", Permissions::shared(0)).unwrap();
+        ns.mkdir(a, "sub", Permissions::directory(0)).unwrap();
+        assert_eq!(memo.get(a, memo.stamp(&ns)), Some(MdsId(1)), "creations are free");
+    }
+
+    #[test]
+    fn fill_covers_a_walk() {
+        let ns = Namespace::new();
+        let memo: PlacementMemo<MdsId> = PlacementMemo::new();
+        let s = memo.stamp(&ns);
+        let ids = [InodeId(5), InodeId(2), InodeId(9)];
+        memo.fill(&ids, s, MdsId(4));
+        for id in ids {
+            assert_eq!(memo.get(id, s), Some(MdsId(4)));
+        }
+        assert_eq!(memo.get(InodeId(3), s), None, "untouched slots stay cold");
+    }
+}

@@ -11,24 +11,36 @@
 //! it is replicated via the delegation protocol); authority lookup walks
 //! from the item toward the root and stops at the first delegation point.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
 
-use dynmds_namespace::{InodeId, MdsId, Namespace};
+use dynmds_namespace::{FxHashMap, InodeId, MdsId, Namespace};
 
 use crate::hash::path_hash;
+use crate::memo::PlacementMemo;
 
 /// Delegation table for subtree-partitioned clusters.
 pub struct SubtreePartition {
-    delegations: HashMap<InodeId, MdsId>,
+    delegations: FxHashMap<InodeId, MdsId>,
     root: InodeId,
+    /// Memoized `(governing delegation point, authority)` per inode; see
+    /// [`PlacementMemo`] for the invalidation scheme.
+    memo: PlacementMemo<(InodeId, MdsId)>,
+    /// Scratch for the ids visited by a resolving walk, so steady-state
+    /// lookups never allocate.
+    walk_scratch: RefCell<Vec<InodeId>>,
 }
 
 impl SubtreePartition {
     /// Creates a table with the whole hierarchy delegated to `root_mds`.
     pub fn new(root: InodeId, root_mds: MdsId) -> Self {
-        let mut delegations = HashMap::new();
+        let mut delegations = FxHashMap::default();
         delegations.insert(root, root_mds);
-        SubtreePartition { delegations, root }
+        SubtreePartition {
+            delegations,
+            root,
+            memo: PlacementMemo::new(),
+            walk_scratch: RefCell::new(Vec::new()),
+        }
     }
 
     /// The paper's initial partition (§5.1): "hashing directories near the
@@ -52,37 +64,66 @@ impl SubtreePartition {
     }
 
     /// The authoritative MDS for `id`: the delegation at the nearest
-    /// enclosing delegation point.
+    /// enclosing delegation point. O(1) amortized via the memo.
     pub fn authority(&self, ns: &Namespace, id: InodeId) -> MdsId {
-        if let Some(&m) = self.delegations.get(&id) {
-            return m;
-        }
-        for anc in ns.ancestors(id) {
-            if let Some(&m) = self.delegations.get(&anc) {
-                return m;
-            }
-        }
-        // Unreachable when the root is delegated (it always is), but stay
-        // total for tombstoned ids.
-        self.delegations.get(&self.root).copied().unwrap_or(MdsId(0))
+        self.resolve(ns, id).1
     }
 
     /// The delegation point governing `id` (itself, or nearest ancestor).
+    /// O(1) amortized via the memo.
     pub fn subtree_root_of(&self, ns: &Namespace, id: InodeId) -> InodeId {
-        if self.delegations.contains_key(&id) {
-            return id;
-        }
-        for anc in ns.ancestors(id) {
-            if self.delegations.contains_key(&anc) {
-                return anc;
+        self.resolve(ns, id).0
+    }
+
+    /// Resolves `(governing delegation point, authority)` for `id`,
+    /// memoized. Semantics match the naive walk exactly: check `id`'s own
+    /// explicit delegation first, then each ancestor nearest-first, then
+    /// fall back to the root delegation.
+    fn resolve(&self, ns: &Namespace, id: InodeId) -> (InodeId, MdsId) {
+        let fallback =
+            || (self.root, self.delegations.get(&self.root).copied().unwrap_or(MdsId(0)));
+        if !ns.is_alive(id) {
+            // Tombstones bypass the memo (their death bumps no epoch):
+            // an explicit delegation still answers, the ancestor walk is
+            // empty, everything else falls back to the root.
+            if let Some(&m) = self.delegations.get(&id) {
+                return (id, m);
             }
+            return fallback();
         }
-        self.root
+        let stamp = self.memo.stamp(ns);
+        if let Some(hit) = self.memo.get(id, stamp) {
+            return hit;
+        }
+        // Walk toward the root, recording the misses; stop at the first
+        // explicit delegation or already-memoized ancestor.
+        let mut walked = self.walk_scratch.borrow_mut();
+        walked.clear();
+        let mut cur = id;
+        let answer = loop {
+            if let Some(&m) = self.delegations.get(&cur) {
+                self.memo.set(cur, stamp, (cur, m));
+                break (cur, m);
+            }
+            if let Some(hit) = self.memo.get(cur, stamp) {
+                break hit;
+            }
+            walked.push(cur);
+            match ns.parent(cur) {
+                Ok(Some(p)) => cur = p,
+                // Unreachable for live ids (the root is always
+                // delegated), but stay total.
+                _ => break fallback(),
+            }
+        };
+        self.memo.fill(&walked, stamp, answer);
+        answer
     }
 
     /// Delegates the subtree rooted at `dir` to `mds`. Returns the
     /// previous explicit delegation of `dir`, if any.
     pub fn delegate(&mut self, dir: InodeId, mds: MdsId) -> Option<MdsId> {
+        self.memo.bump();
         self.delegations.insert(dir, mds)
     }
 
@@ -92,6 +133,7 @@ impl SubtreePartition {
         if dir == self.root {
             return None;
         }
+        self.memo.bump();
         self.delegations.remove(&dir)
     }
 
@@ -108,12 +150,8 @@ impl SubtreePartition {
     /// Delegation points currently assigned to `mds`, sorted for
     /// determinism.
     pub fn delegations_of(&self, mds: MdsId) -> Vec<InodeId> {
-        let mut v: Vec<InodeId> = self
-            .delegations
-            .iter()
-            .filter(|(_, &m)| m == mds)
-            .map(|(&d, _)| d)
-            .collect();
+        let mut v: Vec<InodeId> =
+            self.delegations.iter().filter(|(_, &m)| m == mds).map(|(&d, _)| d).collect();
         v.sort();
         v
     }
@@ -209,10 +247,7 @@ mod tests {
         assert_eq!(total, snap.ns.total_items());
         let mean = total / n as u64;
         for &s in &sizes {
-            assert!(
-                s > mean / 4 && s < mean * 3,
-                "initial partition badly imbalanced: {sizes:?}"
-            );
+            assert!(s > mean / 4 && s < mean * 3, "initial partition badly imbalanced: {sizes:?}");
         }
     }
 

@@ -1,0 +1,212 @@
+//! Property test: the memoized authority cache in [`SubtreePartition`]
+//! agrees with the seed's naive walk — `delegations.get(id)`, then the
+//! ancestor chain, then the root delegation — across long randomized
+//! sequences of delegations, undelegations, renames, hard links, unlinks
+//! and creations. The naive reference is reimplemented here against a
+//! shadow copy of the delegation table, so a staleness bug in the memo
+//! (a missed invalidation on a namespace move or delegation change)
+//! cannot hide in shared code.
+
+use std::collections::HashMap;
+
+use dynmds_namespace::{InodeId, MdsId, Namespace, Permissions};
+use dynmds_partition::SubtreePartition;
+
+/// Splitmix64: small, seedable, good enough to drive a fuzz schedule.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+
+    fn pick<T: Copy>(&mut self, v: &[T]) -> Option<T> {
+        if v.is_empty() {
+            None
+        } else {
+            Some(v[self.below(v.len())])
+        }
+    }
+}
+
+/// The seed revision's authority walk, verbatim, over the shadow table.
+fn naive_authority(
+    dels: &HashMap<InodeId, MdsId>,
+    ns: &Namespace,
+    root: InodeId,
+    id: InodeId,
+) -> MdsId {
+    if let Some(&m) = dels.get(&id) {
+        return m;
+    }
+    for anc in ns.ancestors(id) {
+        if let Some(&m) = dels.get(&anc) {
+            return m;
+        }
+    }
+    dels.get(&root).copied().unwrap_or(MdsId(0))
+}
+
+/// The seed revision's delegation-point walk, verbatim.
+fn naive_subtree_root(
+    dels: &HashMap<InodeId, MdsId>,
+    ns: &Namespace,
+    root: InodeId,
+    id: InodeId,
+) -> InodeId {
+    if dels.contains_key(&id) {
+        return id;
+    }
+    for anc in ns.ancestors(id) {
+        if dels.contains_key(&anc) {
+            return anc;
+        }
+    }
+    root
+}
+
+/// Ids of all live directories, in id order.
+fn live_dirs(ns: &Namespace, ids: &[InodeId]) -> Vec<InodeId> {
+    let mut v: Vec<InodeId> =
+        ids.iter().copied().filter(|&i| ns.is_alive(i) && ns.is_dir(i)).collect();
+    v.push(ns.root());
+    v
+}
+
+#[test]
+fn memoized_authority_matches_naive_walk_over_random_history() {
+    const STEPS: usize = 12_000;
+    const N_MDS: u64 = 8;
+
+    let mut rng = Rng(0xD1CE_D00D_5EED_0001);
+    let mut ns = Namespace::new();
+    let root = ns.root();
+    let mut part = SubtreePartition::new(root, MdsId(0));
+    // Shadow of the delegation table, mutated in lockstep with `part`.
+    let mut shadow: HashMap<InodeId, MdsId> = HashMap::new();
+    shadow.insert(root, MdsId(0));
+
+    // Every id ever created, live or dead — dead ids must stay resolvable.
+    let mut ids: Vec<InodeId> = Vec::new();
+    let mut name_seq = 0u64;
+
+    // Seed a small tree so early steps have material to work with.
+    for _ in 0..12 {
+        let d = ns.mkdir(root, &format!("seed{name_seq}"), Permissions::directory(1)).unwrap();
+        name_seq += 1;
+        ids.push(d);
+    }
+
+    for step in 0..STEPS {
+        let dirs = live_dirs(&ns, &ids);
+        match rng.below(10) {
+            // Grow: a new directory or file under a random live dir.
+            0..=2 => {
+                let parent = rng.pick(&dirs).unwrap();
+                let name = format!("n{name_seq}");
+                name_seq += 1;
+                let made = if rng.below(2) == 0 {
+                    ns.mkdir(parent, &name, Permissions::directory(1))
+                } else {
+                    ns.create_file(parent, &name, Permissions::shared(1))
+                };
+                if let Ok(id) = made {
+                    ids.push(id);
+                }
+            }
+            // Delegate a random live directory.
+            3 | 4 => {
+                let dir = rng.pick(&dirs).unwrap();
+                let mds = MdsId((rng.next() % N_MDS) as u16);
+                part.delegate(dir, mds);
+                shadow.insert(dir, mds);
+            }
+            // Undelegate a random delegation point.
+            5 => {
+                let mut points: Vec<InodeId> = shadow.keys().copied().collect();
+                points.sort();
+                if let Some(dir) = rng.pick(&points) {
+                    let removed = part.undelegate(dir);
+                    if removed.is_some() {
+                        shadow.remove(&dir);
+                    }
+                }
+            }
+            // Rename/move a random entry somewhere else (may legally fail:
+            // cycles, clobbers, the root — errors are part of the space).
+            6 | 7 => {
+                let from = rng.pick(&dirs).unwrap();
+                let names: Vec<String> = ns
+                    .children(from)
+                    .map(|it| it.map(|(n, _)| n.to_string()).collect())
+                    .unwrap_or_default();
+                if let Some(name) = names.get(rng.below(names.len().max(1))) {
+                    let to = rng.pick(&dirs).unwrap();
+                    let newname = format!("n{name_seq}");
+                    name_seq += 1;
+                    let _ = ns.rename(from, name, to, &newname);
+                }
+            }
+            // Hard-link a random file, so a later unlink can exercise the
+            // primary-dentry promotion path.
+            8 => {
+                let files: Vec<InodeId> =
+                    ids.iter().copied().filter(|&i| ns.is_alive(i) && !ns.is_dir(i)).collect();
+                if let (Some(f), Some(dir)) = (rng.pick(&files), rng.pick(&dirs)) {
+                    let name = format!("l{name_seq}");
+                    name_seq += 1;
+                    let _ = ns.link(f, dir, &name);
+                }
+            }
+            // Unlink a random dentry (files, links, or empty dirs).
+            _ => {
+                let dir = rng.pick(&dirs).unwrap();
+                let names: Vec<String> = ns
+                    .children(dir)
+                    .map(|it| it.map(|(n, _)| n.to_string()).collect())
+                    .unwrap_or_default();
+                if let Some(name) = names.get(rng.below(names.len().max(1))) {
+                    let _ = ns.unlink(dir, name);
+                }
+            }
+        }
+
+        // Spot-check a handful of ids (live and dead) every step…
+        for _ in 0..4 {
+            let id = match rng.pick(&ids) {
+                Some(id) => id,
+                None => continue,
+            };
+            assert_eq!(
+                part.authority(&ns, id),
+                naive_authority(&shadow, &ns, root, id),
+                "authority diverged for {id} at step {step}"
+            );
+            assert_eq!(
+                part.subtree_root_of(&ns, id),
+                naive_subtree_root(&shadow, &ns, root, id),
+                "subtree root diverged for {id} at step {step}"
+            );
+        }
+        // …and sweep every id ever created periodically and at the end.
+        if step % 1000 == 999 || step == STEPS - 1 {
+            for &id in &ids {
+                assert_eq!(
+                    part.authority(&ns, id),
+                    naive_authority(&shadow, &ns, root, id),
+                    "authority diverged for {id} in sweep at step {step}"
+                );
+            }
+        }
+    }
+
+    assert!(ids.len() > 1000, "fuzz schedule should have grown a real tree");
+}

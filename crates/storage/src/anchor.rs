@@ -16,9 +16,7 @@
 //! subtree size, matching the paper's claim that the table "is easily
 //! modified when directories are moved around the hierarchy".
 
-use std::collections::HashMap;
-
-use dynmds_namespace::{InodeId, Namespace};
+use dynmds_namespace::{FxHashMap, InodeId, Namespace};
 
 #[derive(Clone, Copy, Debug)]
 struct Entry {
@@ -29,7 +27,7 @@ struct Entry {
 /// The global anchor table.
 #[derive(Default)]
 pub struct AnchorTable {
-    entries: HashMap<InodeId, Entry>,
+    entries: FxHashMap<InodeId, Entry>,
 }
 
 impl AnchorTable {

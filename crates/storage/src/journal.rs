@@ -12,16 +12,16 @@
 //! the same inode is still in the log (the later modification supersedes
 //! it — write coalescing).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use dynmds_namespace::InodeId;
+use dynmds_namespace::{FxHashMap, InodeId};
 
 /// Bounded update log.
 pub struct BoundedLog {
     cap: usize,
     entries: VecDeque<(u64, InodeId)>,
     /// Latest sequence number per inode still in the log.
-    latest: HashMap<InodeId, u64>,
+    latest: FxHashMap<InodeId, u64>,
     next_seq: u64,
     appended: u64,
     retired: u64,
@@ -35,7 +35,7 @@ impl BoundedLog {
         BoundedLog {
             cap,
             entries: VecDeque::with_capacity(cap + 1),
-            latest: HashMap::new(),
+            latest: FxHashMap::default(),
             next_seq: 0,
             appended: 0,
             retired: 0,

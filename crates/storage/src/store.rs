@@ -57,7 +57,7 @@ pub struct MetadataStore {
     /// a recently rewritten object are folded into that write (§4.6: the
     /// B-tree directory objects absorb "incremental updates … with minimal
     /// modifications to on-disk structures").
-    recent_writes: std::collections::HashMap<u64, SimTime>,
+    recent_writes: dynmds_namespace::FxHashMap<u64, SimTime>,
     write_coalesce_window: SimTime,
 }
 
@@ -75,7 +75,7 @@ impl MetadataStore {
             writebacks: 0,
             coalesced_writebacks: 0,
             journal_writes: 0,
-            recent_writes: std::collections::HashMap::new(),
+            recent_writes: dynmds_namespace::FxHashMap::default(),
             write_coalesce_window: SimTime::from_micros(WRITE_COALESCE_US),
         }
     }
@@ -138,10 +138,9 @@ impl MetadataStore {
         self.fetches += 1;
         let complete_at = self.pool.access(now, dir.0, AccessKind::Read);
         let loaded = match self.layout {
-            StoreLayout::EmbeddedDirectories => ns
-                .children(dir)
-                .map(|it| it.map(|(_, c)| c).collect())
-                .unwrap_or_default(),
+            StoreLayout::EmbeddedDirectories => {
+                ns.children(dir).map(|it| it.map(|(_, c)| c).collect()).unwrap_or_default()
+            }
             StoreLayout::InodeTable => Vec::new(),
         };
         FetchResult { complete_at, loaded }
@@ -164,8 +163,7 @@ impl MetadataStore {
         self.recent_writes.insert(key, now);
         // Opportunistic pruning keeps the map bounded on long runs.
         if self.recent_writes.len() > 65_536 {
-            self.recent_writes
-                .retain(|_, &mut t| now.saturating_since(t).as_micros() < window);
+            self.recent_writes.retain(|_, &mut t| now.saturating_since(t).as_micros() < window);
         }
         self.pool.access(now, key, AccessKind::Write)
     }

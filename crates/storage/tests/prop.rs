@@ -2,7 +2,9 @@
 
 use dynmds_event::SimTime;
 use dynmds_namespace::{InodeId, NamespaceSpec};
-use dynmds_storage::{AccessKind, BoundedLog, DiskModel, DiskParams, MetadataStore, OsdPool, StoreLayout};
+use dynmds_storage::{
+    AccessKind, BoundedLog, DiskModel, DiskParams, MetadataStore, OsdPool, StoreLayout,
+};
 use proptest::prelude::*;
 
 proptest! {

@@ -253,10 +253,7 @@ mod tests {
         let (_, wl) = sci();
         assert_eq!(wl.burst_at(SimTime::from_secs(1)).unwrap().1, BurstKind::OpenSameFile);
         assert_eq!(wl.burst_at(SimTime::from_secs(5)), None, "outside window");
-        assert_eq!(
-            wl.burst_at(SimTime::from_secs(11)).unwrap().1,
-            BurstKind::CreateInSharedDir
-        );
+        assert_eq!(wl.burst_at(SimTime::from_secs(11)).unwrap().1, BurstKind::CreateInSharedDir);
         assert_eq!(wl.burst_at(SimTime::from_secs(21)).unwrap().1, BurstKind::OpenSameFile);
     }
 

@@ -152,26 +152,40 @@ impl GeneralWorkload {
     /// when one is hit (or `fallback_dir` behaviour: the deepest directory
     /// reached).
     fn random_walk(ns: &Namespace, rng: &mut SimRng, root: InodeId, want_file: bool) -> InodeId {
+        // Count-then-select keeps this allocation-free: the walk runs for
+        // a large share of generated ops, and materialising each level's
+        // child list dominated workload-generation cost. The RNG stream
+        // is identical to the collect-into-a-Vec formulation.
         let mut cur = root;
         for _ in 0..8 {
-            let kids: Vec<InodeId> = match ns.children(cur) {
-                Ok(it) => it.map(|(_, c)| c).collect(),
+            let n_kids = match ns.child_count(cur) {
+                Ok(n) => n,
                 Err(_) => return cur,
             };
-            if kids.is_empty() {
+            if n_kids == 0 {
                 return cur;
             }
-            let pick = kids[rng.below(kids.len() as u64) as usize];
+            let i = rng.below(n_kids as u64) as usize;
+            let pick =
+                ns.children(cur).expect("counted above").nth(i).expect("index < child count").1;
             if !ns.is_dir(pick) {
                 if want_file {
                     return pick;
                 }
                 // Want a directory: try again among dir children only.
-                let dirs: Vec<InodeId> = kids.iter().copied().filter(|&k| ns.is_dir(k)).collect();
-                if dirs.is_empty() {
+                let n_dirs =
+                    ns.children(cur).expect("counted above").filter(|&(_, k)| ns.is_dir(k)).count();
+                if n_dirs == 0 {
                     return cur;
                 }
-                cur = dirs[rng.below(dirs.len() as u64) as usize];
+                let j = rng.below(n_dirs as u64) as usize;
+                cur = ns
+                    .children(cur)
+                    .expect("counted above")
+                    .filter(|&(_, k)| ns.is_dir(k))
+                    .nth(j)
+                    .expect("index < dir count")
+                    .1;
             } else {
                 // Descend, sometimes stopping here.
                 if !want_file && rng.chance(0.35) {
@@ -183,20 +197,20 @@ impl GeneralWorkload {
         cur
     }
 
-    /// A random file in `dir`, if any.
+    /// A random file in `dir`, if any. Allocates only the returned name.
     fn random_file_in(ns: &Namespace, rng: &mut SimRng, dir: InodeId) -> Option<(String, InodeId)> {
-        let files: Vec<(String, InodeId)> = ns
+        let n_files = ns.children(dir).ok()?.filter(|&(_, c)| !ns.is_dir(c)).count();
+        if n_files == 0 {
+            return None;
+        }
+        let i = rng.below(n_files as u64) as usize;
+        let (name, id) = ns
             .children(dir)
             .ok()?
             .filter(|&(_, c)| !ns.is_dir(c))
-            .map(|(n, c)| (n.to_string(), c))
-            .collect();
-        if files.is_empty() {
-            None
-        } else {
-            let i = rng.below(files.len() as u64) as usize;
-            Some(files[i].clone())
-        }
+            .nth(i)
+            .expect("index < file count");
+        Some((name.to_string(), id))
     }
 
     fn generate(&mut self, ns: &Namespace, client: ClientId) -> Op {
@@ -267,10 +281,8 @@ impl GeneralWorkload {
                 // readdir → burst of stats over the entries (§2.2).
                 let (lo, hi) = self.cfg.readdir_stats;
                 let want = c.rng.range(lo as u64, hi as u64 + 1) as usize;
-                let kids: Vec<InodeId> = ns
-                    .children(dir)
-                    .map(|it| it.map(|(_, k)| k).collect())
-                    .unwrap_or_default();
+                let kids: Vec<InodeId> =
+                    ns.children(dir).map(|it| it.map(|(_, k)| k).collect()).unwrap_or_default();
                 for &k in kids.iter().take(want) {
                     c.pending.push_back(Op::Stat(k));
                 }
@@ -336,7 +348,11 @@ impl GeneralWorkload {
                 let target = Self::random_walk(ns, &mut c.rng, c.region, true);
                 if ns.is_alive(target) && !ns.is_dir(target) && ns.is_dir(c.cwd) {
                     c.create_seq += 1;
-                    Op::Link { target, dir: c.cwd, name: format!("ln{}_{}", client.0, c.create_seq) }
+                    Op::Link {
+                        target,
+                        dir: c.cwd,
+                        name: format!("ln{}_{}", client.0, c.create_seq),
+                    }
                 } else {
                     Op::Stat(target)
                 }

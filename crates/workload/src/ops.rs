@@ -228,8 +228,16 @@ impl OpMix {
             OpKind::Link,
         ];
         let weights = [
-            self.stat, self.open, self.readdir, self.create, self.mkdir, self.unlink,
-            self.rename, self.chmod, self.setattr, self.link,
+            self.stat,
+            self.open,
+            self.readdir,
+            self.create,
+            self.mkdir,
+            self.unlink,
+            self.rename,
+            self.chmod,
+            self.setattr,
+            self.link,
         ];
         KINDS[rng.weighted_index(&weights)]
     }
@@ -243,10 +251,7 @@ mod tests {
     #[test]
     fn kind_tags_match() {
         assert_eq!(Op::Stat(InodeId(1)).kind(), OpKind::Stat);
-        assert_eq!(
-            Op::Create { dir: InodeId(1), name: "x".into() }.kind(),
-            OpKind::Create
-        );
+        assert_eq!(Op::Create { dir: InodeId(1), name: "x".into() }.kind(), OpKind::Create);
         assert_eq!(
             Op::Rename { dir: InodeId(1), name: "a".into(), new_name: "b".into() }.kind(),
             OpKind::Rename
@@ -266,10 +271,7 @@ mod tests {
     #[test]
     fn target_extraction() {
         assert_eq!(Op::Open(InodeId(9)).target(), InodeId(9));
-        assert_eq!(
-            Op::Create { dir: InodeId(3), name: "x".into() }.target(),
-            InodeId(3)
-        );
+        assert_eq!(Op::Create { dir: InodeId(3), name: "x".into() }.target(), InodeId(3));
         assert_eq!(Op::Chmod { target: InodeId(7), mode: 0 }.target(), InodeId(7));
     }
 
@@ -292,9 +294,7 @@ mod tests {
     fn create_heavy_mix_is_create_dominated() {
         let mut rng = SimRng::seed_from_u64(2);
         let mix = OpMix::create_heavy();
-        let creates = (0..10_000)
-            .filter(|_| mix.sample(&mut rng) == OpKind::Create)
-            .count();
+        let creates = (0..10_000).filter(|_| mix.sample(&mut rng) == OpKind::Create).count();
         assert!(creates > 5_000, "got {creates}");
     }
 
@@ -304,10 +304,7 @@ mod tests {
         let mix = OpMix::read_only();
         for _ in 0..5_000 {
             let k = mix.sample(&mut rng);
-            assert!(
-                matches!(k, OpKind::Stat | OpKind::Open | OpKind::Readdir),
-                "unexpected {k:?}"
-            );
+            assert!(matches!(k, OpKind::Stat | OpKind::Open | OpKind::Readdir), "unexpected {k:?}");
         }
     }
 }

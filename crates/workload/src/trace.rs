@@ -54,11 +54,9 @@ impl From<&Op> for TraceOp {
             Op::Create { dir, name } => TraceOp::Create { dir: dir.0, name: name.clone() },
             Op::Mkdir { dir, name } => TraceOp::Mkdir { dir: dir.0, name: name.clone() },
             Op::Unlink { dir, name } => TraceOp::Unlink { dir: dir.0, name: name.clone() },
-            Op::Rename { dir, name, new_name } => TraceOp::Rename {
-                dir: dir.0,
-                name: name.clone(),
-                new_name: new_name.clone(),
-            },
+            Op::Rename { dir, name, new_name } => {
+                TraceOp::Rename { dir: dir.0, name: name.clone(), new_name: new_name.clone() }
+            }
             Op::Chmod { target, mode } => TraceOp::Chmod { target: target.0, mode: *mode },
             Op::SetAttr(i) => TraceOp::SetAttr(i.0),
             Op::Link { target, dir, name } => {
@@ -75,27 +73,17 @@ impl From<&TraceOp> for Op {
             TraceOp::Open(i) => Op::Open(InodeId(*i)),
             TraceOp::Close(i) => Op::Close(InodeId(*i)),
             TraceOp::Readdir(i) => Op::Readdir(InodeId(*i)),
-            TraceOp::Create { dir, name } => {
-                Op::Create { dir: InodeId(*dir), name: name.clone() }
-            }
+            TraceOp::Create { dir, name } => Op::Create { dir: InodeId(*dir), name: name.clone() },
             TraceOp::Mkdir { dir, name } => Op::Mkdir { dir: InodeId(*dir), name: name.clone() },
-            TraceOp::Unlink { dir, name } => {
-                Op::Unlink { dir: InodeId(*dir), name: name.clone() }
+            TraceOp::Unlink { dir, name } => Op::Unlink { dir: InodeId(*dir), name: name.clone() },
+            TraceOp::Rename { dir, name, new_name } => {
+                Op::Rename { dir: InodeId(*dir), name: name.clone(), new_name: new_name.clone() }
             }
-            TraceOp::Rename { dir, name, new_name } => Op::Rename {
-                dir: InodeId(*dir),
-                name: name.clone(),
-                new_name: new_name.clone(),
-            },
-            TraceOp::Chmod { target, mode } => {
-                Op::Chmod { target: InodeId(*target), mode: *mode }
-            }
+            TraceOp::Chmod { target, mode } => Op::Chmod { target: InodeId(*target), mode: *mode },
             TraceOp::SetAttr(i) => Op::SetAttr(InodeId(*i)),
-            TraceOp::Link { target, dir, name } => Op::Link {
-                target: InodeId(*target),
-                dir: InodeId(*dir),
-                name: name.clone(),
-            },
+            TraceOp::Link { target, dir, name } => {
+                Op::Link { target: InodeId(*target), dir: InodeId(*dir), name: name.clone() }
+            }
         }
     }
 }
@@ -194,7 +182,8 @@ impl TraceReplay {
 
     /// Records remaining for `client`.
     pub fn remaining(&self, client: ClientId) -> usize {
-        self.per_client[client.index()].len() - self.cursor[client.index()].min(self.per_client[client.index()].len())
+        self.per_client[client.index()].len()
+            - self.cursor[client.index()].min(self.per_client[client.index()].len())
     }
 }
 
@@ -208,12 +197,8 @@ impl Workload for TraceReplay {
             return op;
         }
         // Idle tail: re-stat the last valid target, or the root.
-        let fallback = ops
-            .iter()
-            .rev()
-            .map(|o| o.target())
-            .find(|&t| ns.is_alive(t))
-            .unwrap_or(ns.root());
+        let fallback =
+            ops.iter().rev().map(|o| o.target()).find(|&t| ns.is_alive(t)).unwrap_or(ns.root());
         Op::Stat(fallback)
     }
 
@@ -267,9 +252,8 @@ mod tests {
             .collect();
         let trace = rec.into_trace();
         let mut replay = TraceReplay::new(&trace, vec![]);
-        let replayed: Vec<Op> = (0..100u32)
-            .map(|i| replay.next_op(&ns, ClientId(i % 6), SimTime::ZERO))
-            .collect();
+        let replayed: Vec<Op> =
+            (0..100u32).map(|i| replay.next_op(&ns, ClientId(i % 6), SimTime::ZERO)).collect();
         assert_eq!(original, replayed);
     }
 

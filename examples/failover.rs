@@ -42,10 +42,7 @@ fn main() {
     sim.run_until(SimTime::from_secs(END));
     let cluster = sim.cluster();
     println!("failures: {}  recoveries: {}", cluster.failures, cluster.recoveries);
-    println!(
-        "requests that timed out against the dead node: {}",
-        cluster.failover_timeouts
-    );
+    println!("requests that timed out against the dead node: {}", cluster.failover_timeouts);
     println!(
         "recovered node cache after journal warm-up: {} items\n",
         cluster.nodes[VICTIM.index()].cache.len()
@@ -64,25 +61,17 @@ fn main() {
             if i == VICTIM.index() {
                 continue;
             }
-            for (k, (_, sum, _)) in s
-                .binned(SimTime::ZERO, SimTime::from_secs(END), bin)
-                .into_iter()
-                .enumerate()
+            for (k, (_, sum, _)) in
+                s.binned(SimTime::ZERO, SimTime::from_secs(END), bin).into_iter().enumerate()
             {
                 acc[k] += sum;
             }
         }
-        acc.into_iter()
-            .enumerate()
-            .map(|(k, v)| (k as f64, v / 3.0))
-            .collect()
+        acc.into_iter().enumerate().map(|(k, v)| (k as f64, v / 3.0)).collect()
     };
 
-    let mut chart = AsciiChart::new(
-        "ops/s over time — v = victim node, s = survivors (avg)",
-        72,
-        14,
-    );
+    let mut chart =
+        AsciiChart::new("ops/s over time — v = victim node, s = survivors (avg)", 72, 14);
     chart.series('s', &others_pts);
     chart.series('v', &victim_pts);
     println!("{}", chart.render());

@@ -57,12 +57,7 @@ fn main() {
         let rates = report.reply_forward_rates(SimDuration::from_millis(100));
         println!("  t(ms)   replies/s  forwards/s");
         for (t, replies, forwards) in rates.iter().take(12) {
-            println!(
-                "  {:>5.0}   {:>9.0}  {:>10.0}",
-                t.as_secs_f64() * 1e3,
-                replies,
-                forwards
-            );
+            println!("  {:>5.0}   {:>9.0}  {:>10.0}", t.as_secs_f64() * 1e3, replies, forwards);
         }
         println!(
             "  total: {} replies, {} forwards, peak-node share of replies {:.1}%\n",

@@ -50,10 +50,7 @@ fn main() {
     println!("  per-MDS throughput    : {:.0} ops/s", report.avg_mds_throughput());
     println!("  cache hit rate        : {:.1} %", report.overall_hit_rate() * 100.0);
     println!("  prefix share of cache : {:.1} %", report.mean_prefix_pct());
-    println!(
-        "  mean client latency   : {:.2} ms",
-        report.latency.mean().unwrap_or(0.0) * 1e3
-    );
+    println!("  mean client latency   : {:.2} ms", report.latency.mean().unwrap_or(0.0) * 1e3);
     println!(
         "  forwarded requests    : {:.1} %",
         100.0 * report.total_forwarded() as f64 / report.total_received().max(1) as f64

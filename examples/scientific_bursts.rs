@@ -29,8 +29,13 @@ fn main() {
     cfg.replication_threshold = 48.0;
     cfg.seed = 23;
 
-    let snapshot = NamespaceSpec { users: N_CLIENTS as usize / 2, shared_trees: 6, seed: 17, ..Default::default() }
-        .generate();
+    let snapshot = NamespaceSpec {
+        users: N_CLIENTS as usize / 2,
+        shared_trees: 6,
+        seed: 17,
+        ..Default::default()
+    }
+    .generate();
     let shared_dirs: Vec<_> = snapshot
         .shared_roots
         .iter()
@@ -58,10 +63,8 @@ fn main() {
     let pts: Vec<(f64, f64)> = {
         let mut acc = vec![0.0f64; (END_S * 2) as usize];
         for s in &report.served_series {
-            for (k, (_, sum, _)) in s
-                .binned(SimTime::ZERO, SimTime::from_secs(END_S), bin)
-                .into_iter()
-                .enumerate()
+            for (k, (_, sum, _)) in
+                s.binned(SimTime::ZERO, SimTime::from_secs(END_S), bin).into_iter().enumerate()
             {
                 acc[k] += sum * 2.0; // per-second rate
             }

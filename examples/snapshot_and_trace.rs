@@ -114,8 +114,6 @@ fn regenerate_snapshot_with(ns: Namespace) -> dynmds::namespace::Snapshot {
     let user_homes: Vec<_> = (0..CLIENTS as usize)
         .map(|u| ns.resolve(&format!("/home/user{u:04}")).expect("home survives"))
         .collect();
-    let shared_roots: Vec<_> = (0..)
-        .map_while(|s| ns.resolve(&format!("/proj{s}")).ok())
-        .collect();
+    let shared_roots: Vec<_> = (0..).map_while(|s| ns.resolve(&format!("/proj{s}")).ok()).collect();
     dynmds::namespace::Snapshot { ns, user_homes, shared_roots }
 }

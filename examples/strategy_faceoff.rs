@@ -39,10 +39,7 @@ fn main() {
             format!("{:.0}", r.avg_mds_throughput()),
             format!("{:.1}", r.overall_hit_rate() * 100.0),
             format!("{:.1}", r.mean_prefix_pct()),
-            format!(
-                "{:.1}",
-                100.0 * r.total_forwarded() as f64 / r.total_received().max(1) as f64
-            ),
+            format!("{:.1}", 100.0 * r.total_forwarded() as f64 / r.total_received().max(1) as f64),
             format!("{:.2}", r.latency.mean().unwrap_or(0.0) * 1e3),
         ]);
     }

@@ -25,19 +25,15 @@ fn run(strategy: StrategyKind) -> SimReport {
 
     // Active homes for the clients plus dormant homes that become the
     // migration destination.
-    let snapshot =
-        NamespaceSpec::with_target_items(N_CLIENTS as usize + 24, 15_000, 5).generate();
+    let snapshot = NamespaceSpec::with_target_items(N_CLIENTS as usize + 24, 15_000, 5).generate();
     let active = &snapshot.user_homes[..N_CLIENTS as usize];
     let reserve = &snapshot.user_homes[N_CLIENTS as usize..];
 
     // Destination: dormant homes that one single MDS serves.
     let preview = SubtreePartition::initial_near_root(&snapshot.ns, N_MDS, 2);
     let victim = preview.authority(&snapshot.ns, reserve[0]);
-    let destinations: Vec<_> = reserve
-        .iter()
-        .copied()
-        .filter(|&h| preview.authority(&snapshot.ns, h) == victim)
-        .collect();
+    let destinations: Vec<_> =
+        reserve.iter().copied().filter(|&h| preview.authority(&snapshot.ns, h) == victim).collect();
 
     let base = GeneralWorkload::new(
         WorkloadConfig { seed: 13, ..Default::default() },

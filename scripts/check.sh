@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Pre-merge gate: formatting, lints, and the tier-1 build+test suite.
+# Everything runs offline against the vendored dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> tier-1: release build + tests"
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+
+echo "ok: all checks passed"

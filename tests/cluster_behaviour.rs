@@ -100,8 +100,7 @@ fn traffic_control_spreads_a_flash_crowd() {
     assert!(!replicated_off, "no replication without traffic control");
 
     let peak_share = |r: &dynmds::core::SimReport| {
-        r.nodes.iter().map(|n| n.served).max().unwrap_or(0) as f64
-            / r.total_served().max(1) as f64
+        r.nodes.iter().map(|n| n.served).max().unwrap_or(0) as f64 / r.total_served().max(1) as f64
     };
     assert!(
         peak_share(&r_off) > 0.9,
@@ -150,16 +149,8 @@ fn huge_directories_get_hashed_dynamically() {
     sim.run_until(SimTime::from_secs(15));
 
     let cluster = sim.cluster();
-    let hashed: Vec<_> = cluster
-        .ns
-        .live_ids()
-        .filter(|&id| cluster.is_dir_hashed(id))
-        .collect();
-    assert!(
-        !hashed.is_empty(),
-        "a directory past {} entries must be spread entry-wise",
-        50
-    );
+    let hashed: Vec<_> = cluster.ns.live_ids().filter(|&id| cluster.is_dir_hashed(id)).collect();
+    assert!(!hashed.is_empty(), "a directory past {} entries must be spread entry-wise", 50);
     for d in hashed {
         assert!(cluster.ns.child_count(d).unwrap() > 25, "hashed dirs are big");
     }
@@ -228,11 +219,8 @@ fn shared_writes_absorb_and_converge() {
         cfg.costs.think_mean = SimDuration::from_millis(10);
         cfg.seed = 81;
         let snap = NamespaceSpec { users: 8, seed: 82, ..Default::default() }.generate();
-        let target = snap
-            .ns
-            .walk(snap.shared_roots[0])
-            .find(|&i| !snap.ns.is_dir(i))
-            .expect("shared file");
+        let target =
+            snap.ns.walk(snap.shared_roots[0]).find(|&i| !snap.ns.is_dir(i)).expect("shared file");
         let wl = Box::new(WriteCrowd::new(target, 120));
         let mut sim = Simulation::with_start(
             cfg,
@@ -255,9 +243,7 @@ fn shared_writes_absorb_and_converge() {
     assert!(c_on.shared_write_flushes > 0, "heartbeat must merge deltas");
 
     // Throughput: replica absorption beats single-authority serialization.
-    let served = |c: &dynmds::core::Cluster| -> u64 {
-        c.nodes.iter().map(|n| n.life.served).sum()
-    };
+    let served = |c: &dynmds::core::Cluster| -> u64 { c.nodes.iter().map(|n| n.life.served).sum() };
     assert!(
         served(c_on) > served(c_off),
         "shared writes must raise write-crowd throughput ({} vs {})",

@@ -113,10 +113,7 @@ fn recovery_rejoins_and_rebalances() {
         cluster.nodes[2].life.served > at_recovery,
         "the balancer must hand work back to the recovered node"
     );
-    assert!(
-        !cluster.nodes[2].cache.is_empty(),
-        "recovery warms the cache from the journal"
-    );
+    assert!(!cluster.nodes[2].cache.is_empty(), "recovery warms the cache from the journal");
 }
 
 #[test]

@@ -1,0 +1,81 @@
+//! Golden-figure regression test: the optimized hot path (memoized
+//! authority, dense LRU slab, allocation-free traversal and sampling)
+//! must not change simulation *results*, only their cost. Each table here
+//! is regenerated in-process at `--quick` scale and compared byte-for-byte
+//! against the CSVs under `tests/golden/quick/`, which were produced by
+//! the seed revision's `experiments --quick --csv` run.
+//!
+//! Only the cheaper figures are regenerated (the full quick suite is a
+//! release-binary job — `experiments bench` covers it); together these
+//! exercise the flash-crowd path, the balancer's delegation churn, cache
+//! insertion policy, shared writes and journal replay.
+
+use dynmds_event::SimDuration;
+use dynmds_harness::{ablation, flashrun, ExperimentScale};
+use dynmds_metrics::Table;
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/tests/golden/quick/{name}.csv", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn assert_matches_golden(name: &str, table: &Table) {
+    assert_eq!(
+        table.to_csv(),
+        golden(name),
+        "{name}.csv drifted from the seed revision's output — the hot-path \
+         optimizations must be result-preserving"
+    );
+}
+
+#[test]
+fn fig7_flash_crowd_matches_seed_output() {
+    let r = flashrun::run_flash(ExperimentScale::Quick);
+    let bin = SimDuration::from_millis(50);
+    assert_matches_golden("fig7", &flashrun::fig7_table(&r, bin));
+}
+
+#[test]
+fn ablate_balance_matches_seed_output() {
+    let pts = ablation::run_ablate_balance(ExperimentScale::Quick);
+    assert_matches_golden(
+        "ablate_balance",
+        &ablation::ablation_table("Table B: load balancing vs total throughput", &pts),
+    );
+}
+
+#[test]
+fn ablate_probation_matches_seed_output() {
+    let pts = ablation::run_ablate_probation(ExperimentScale::Quick);
+    assert_matches_golden(
+        "ablate_probation",
+        &ablation::ablation_table(
+            "Table G: near-tail vs MRU insertion of prefetched metadata",
+            &pts,
+        ),
+    );
+}
+
+#[test]
+fn ablate_shared_writes_matches_seed_output() {
+    let pts = ablation::run_ablate_shared_writes(ExperimentScale::Quick);
+    assert_matches_golden(
+        "ablate_shared_writes",
+        &ablation::ablation_table(
+            "Table F: GPFS-style shared writes under an N-to-1 write crowd",
+            &pts,
+        ),
+    );
+}
+
+#[test]
+fn ablate_warming_matches_seed_output() {
+    let pts = ablation::run_ablate_journal_warming(ExperimentScale::Quick);
+    assert_matches_golden(
+        "ablate_warming",
+        &ablation::ablation_table(
+            "Table D: journal cache warming on failover (post-failure window)",
+            &pts,
+        ),
+    );
+}

@@ -73,11 +73,7 @@ fn caches_only_hold_live_or_coherent_entries() {
     // alive in the shared namespace.
     for node in &cluster.nodes {
         for id in node.cache.iter_ids() {
-            assert!(
-                cluster.ns.is_alive(id),
-                "cached tombstone {id} on {}",
-                node.id
-            );
+            assert!(cluster.ns.is_alive(id), "cached tombstone {id} on {}", node.id);
         }
     }
 }
@@ -104,10 +100,7 @@ fn lazy_hybrid_update_log_converges() {
     let cluster = sim.cluster();
     let lh = cluster.partition.as_lazy().expect("lazy hybrid");
     // Directory chmods/renames happened, so propagation work was done.
-    assert!(
-        lh.lifetime_stats().total() > 0,
-        "pending updates must have been applied lazily"
-    );
+    assert!(lh.lifetime_stats().total() > 0, "pending updates must have been applied lazily");
     // And the log itself is bounded by the number of events issued.
     assert!(lh.pending_events() as u64 <= lh.current_gen());
 }

@@ -104,9 +104,6 @@ fn every_strategy_journals_updates_to_both_tiers() {
     for strategy in StrategyKind::ALL {
         let (report, _, writebacks) = run(strategy, false);
         assert!(report.total_served() > 1_000, "{strategy}: too few ops");
-        assert!(
-            writebacks > 0,
-            "{strategy}: journal retirement must reach tier 2"
-        );
+        assert!(writebacks > 0, "{strategy}: journal retirement must reach tier 2");
     }
 }

@@ -87,10 +87,8 @@ fn series_and_counters_agree() {
     let cluster = sim.cluster();
     let end = SimTime::from_secs(1_000);
     for (i, node) in cluster.nodes.iter().enumerate() {
-        let series_sum: f64 = cluster
-            .report_served_series(i)
-            .map(|s| s.sum_in(SimTime::ZERO, end))
-            .unwrap_or(0.0);
+        let series_sum: f64 =
+            cluster.report_served_series(i).map(|s| s.sum_in(SimTime::ZERO, end)).unwrap_or(0.0);
         assert_eq!(
             series_sum as u64 + node.win.served,
             node.life.served,
@@ -109,10 +107,7 @@ fn disk_accounting_chains() {
         let store_reads = cluster.store.fetches();
         let pool = cluster.store.pool().total_stats();
         assert!(store_reads > 0, "{strategy}: no fetches at all?");
-        assert_eq!(
-            pool.reads, store_reads,
-            "{strategy}: every store fetch is one pool read"
-        );
+        assert_eq!(pool.reads, store_reads, "{strategy}: every store fetch is one pool read");
         let physical_wb = cluster.store.writebacks() - cluster.store.coalesced_writebacks();
         assert_eq!(
             pool.writes, physical_wb,
