@@ -1,0 +1,151 @@
+//! Offline stand-in for the subset of `criterion` this workspace's
+//! benches use: `Criterion`, benchmark groups, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! No statistics, outlier analysis, or HTML reports — each benchmark
+//! runs a fixed-time measurement loop and prints mean wall-clock per
+//! iteration. Good enough to keep `cargo bench` informative offline;
+//! `BENCH_sim.json` (the harness `bench` mode) is the tracked perf
+//! record.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measure: Duration::from_millis(400) }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&name.into(), self.measure, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), measure: self.measure, _parent: self }
+    }
+}
+
+/// A named group; `sample_size`/`measurement_time` adjust the budget.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measure: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream trades samples for time; here fewer samples = less time.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.measure = Duration::from_millis((n as u64 * 20).clamp(100, 2_000));
+        self
+    }
+
+    /// Sets the measurement budget directly.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure = d;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_bench(&full, self.measure, f);
+        self
+    }
+
+    /// Ends the group (no-op; parity with upstream).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; `iter` runs the measured routine.
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            self.iters += 1;
+            self.elapsed = start.elapsed();
+            if self.elapsed >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, budget: Duration, mut f: F) {
+    let mut b = Bencher { budget, iters: 0, elapsed: Duration::ZERO };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name}: setup only (closure never called iter)");
+        return;
+    }
+    let per_iter = b.elapsed.as_nanos() / b.iters as u128;
+    println!("{name}: {} iters, {} ns/iter", b.iters, per_iter);
+}
+
+/// Prevents the optimizer from deleting a computed value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).measurement_time(Duration::from_millis(5));
+        g.bench_function("add", |b| b.iter(|| 1u64 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn group_and_bencher_run() {
+        let mut c = Criterion { measure: Duration::from_millis(5) };
+        sample_bench(&mut c);
+        c.bench_function("direct", |b| b.iter(|| black_box(2u64) * 3));
+    }
+}

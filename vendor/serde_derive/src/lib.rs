@@ -1,0 +1,37 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! The stub traits are empty markers, so deriving them only requires the
+//! type's name — parsed directly from the token stream without `syn`.
+//! Supports plain (non-generic) structs and enums, which covers every
+//! derive site in this workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name: the identifier following `struct` or `enum`.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_kw = false;
+    for tt in input {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return s;
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    panic!("derive target must be a struct or enum");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl serde::Serialize for {name} {{}}").parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}").parse().unwrap()
+}
