@@ -187,6 +187,7 @@ impl Cluster {
                 created.push(c);
             }
         }
+        self.obs.on_delegation_split(created.len() as u64);
         // Protect fresh splits from immediate consolidation so the next
         // heartbeats can migrate them.
         for c in created {
@@ -225,6 +226,7 @@ impl Cluster {
         if to_merge.is_empty() {
             return;
         }
+        self.obs.on_delegation_merge(to_merge.len() as u64);
         let sub = self.partition.as_subtree_mut().expect("subtree strategy");
         for d in to_merge {
             sub.undelegate(d);
@@ -250,6 +252,7 @@ impl Cluster {
         self.imported[to.index()].push(root);
         self.last_migrated.insert(root, now);
         self.migrations += 1;
+        self.obs.on_migration();
         self.nodes[from.index()].life.subtrees_out += 1;
         self.nodes[to.index()].life.subtrees_in += 1;
 

@@ -32,6 +32,7 @@ use dynmds_workload::{Op, Workload};
 use crate::client::{ClientPool, KnownLocation};
 use crate::config::SimConfig;
 use crate::node::MdsNode;
+use crate::obs::ClusterObs;
 use crate::report::{NodeSnapshot, SimReport};
 use crate::request::{Request, SimEvent};
 
@@ -115,6 +116,11 @@ pub struct Cluster {
     /// Delta pushes merged at authorities (heartbeat + read callbacks).
     pub shared_write_flushes: u64,
 
+    // --- observability ---------------------------------------------------
+    /// Metrics registry + op-trace spans + snapshots; inert (one branch
+    /// per hook) unless enabled through [`SimConfig::obs`].
+    pub obs: ClusterObs,
+
     // --- metrics --------------------------------------------------------
     pub(crate) measure_start: SimTime,
     pub(crate) served_series: Vec<TimeSeries>,
@@ -189,6 +195,7 @@ impl Cluster {
             traverse_scratch: Vec::new(),
             shared_write_absorbed: 0,
             shared_write_flushes: 0,
+            obs: ClusterObs::new(cfg.obs, n, cfg.n_clients as usize),
             measure_start: SimTime::ZERO,
             served_series: vec![TimeSeries::new(); n],
             forwarded_series: vec![TimeSeries::new(); n],
@@ -263,6 +270,7 @@ impl Cluster {
             n.life = Default::default();
             n.win = Default::default();
         }
+        self.obs.reset();
     }
 
     /// Builds the final report.
@@ -291,6 +299,7 @@ impl Cluster {
             received_series: self.received_series,
             latency: self.latency,
             nodes,
+            obs: self.obs.export(),
         }
     }
 
@@ -299,6 +308,7 @@ impl Cluster {
     fn on_issue(&mut self, now: SimTime, client: ClientId, queue: &mut EventQueue<SimEvent>) {
         let op = self.workload.next_op(&self.ns, client, now);
         let target = op.target();
+        self.obs.on_issue(now, client.0, crate::obs::op_kind_tag(op.kind()));
         // §4.2 client leases: attribute reads under a live lease never
         // leave the client.
         if self.cfg.client_leases
@@ -308,6 +318,7 @@ impl Cluster {
         {
             let local = SimDuration::from_micros(20);
             self.latency.record(local.as_secs_f64());
+            self.obs.on_lease_local(now, now + local, client.0);
             queue.schedule(now + local, SimEvent::Reply { client });
             return;
         }
@@ -337,6 +348,7 @@ impl Cluster {
         // and is re-driven at the live authority.
         if !self.alive[mds.index()] {
             self.failover_timeouts += 1;
+            self.obs.on_dead_timeout(now, req.client.0, mds);
             let heir = self.live_authority(self.authority_for_op(&req.op));
             let mut retry = req;
             retry.hops = 0;
@@ -350,10 +362,12 @@ impl Cluster {
         let i = mds.index();
         self.nodes[i].win.received += 1;
         self.nodes[i].life.received += 1;
+        self.obs.on_arrive(now, req.client.0, mds);
 
         let target = req.op.target();
         if !self.ns.is_alive(target) {
             // Raced with an unlink: cheap ESTALE reply.
+            self.obs.on_estale(now, req.client.0, mds);
             let done = self.nodes[i].occupy(now, self.cfg.costs.cpu_forward);
             self.finish(now, mds, req, done, queue);
             return;
@@ -371,6 +385,7 @@ impl Cluster {
             // the request to the authority").
             self.nodes[i].win.forwarded += 1;
             self.nodes[i].life.forwarded += 1;
+            self.obs.on_forward(now, req.client.0, mds);
             let done = self.nodes[i].occupy(now, self.cfg.costs.cpu_forward);
             let mut fwd = req;
             fwd.hops += 1;
@@ -378,6 +393,11 @@ impl Cluster {
             return;
         }
 
+        if mds != auth {
+            // Serving without authority: a replica read or an absorbed
+            // shared write.
+            self.obs.on_replica_serve(mds);
+        }
         let reply_at = self.serve(now, mds, &req);
         self.finish(now, mds, req, reply_at, queue);
     }
@@ -396,7 +416,9 @@ impl Cluster {
 
         // ---- prefix handling ------------------------------------------
         if self.cfg.strategy.needs_path_traversal() {
-            io_done = io_done.max(self.traverse(now, mds, target));
+            let tdone = self.traverse(now, mds, target);
+            self.obs.on_traverse(tdone, req.client.0, mds);
+            io_done = io_done.max(tdone);
             // POSIX permission verification over the (now cached) prefix;
             // the outcome only shapes the reply, not the cost.
             let _ = self.ns.check_access(target, req.uid);
@@ -421,7 +443,9 @@ impl Cluster {
                 io_done = io_done.max(now + self.cfg.costs.net_hop.saturating_mul(2));
             }
         }
+        let misses_before = self.nodes[i].win.misses;
         io_done = io_done.max(self.access_target(now, mds, &req.op));
+        self.obs.on_target_probe(now, req.client.0, mds, self.nodes[i].win.misses == misses_before);
 
         // ---- mutation + journal commit ---------------------------------
         if req.op.is_update() {
@@ -464,6 +488,7 @@ impl Cluster {
         *self.op_counts.entry(req.op.kind()).or_insert(0) += 1;
         self.nodes[i].win.served += 1;
         self.nodes[i].life.served += 1;
+        self.obs.on_served(mds);
         cpu_done.max(io_done)
     }
 
@@ -499,6 +524,7 @@ impl Cluster {
             ino.mtime_us = ino.mtime_us.max(mtime);
         }
         self.shared_write_flushes += contributors as u64;
+        self.obs.on_shared_flush(contributors as u64);
         contributors
     }
 
@@ -517,10 +543,12 @@ impl Cluster {
             }
             self.nodes[i].win.misses += 1;
             self.hb_misses[i] += 1;
+            self.obs.on_prefix_miss(mds);
             let dir_auth = self.authority_of(dir);
             if dir_auth == mds {
                 // Local miss: fetch from tier 2.
                 self.nodes[i].life.disk_fetches += 1;
+                self.obs.on_disk_fetch(mds);
                 let res = self.store.fetch_inode(now, &self.ns, dir);
                 io_done = io_done.max(res.complete_at);
                 self.install_loaded(mds, &res.loaded, dir, InsertKind::Prefix);
@@ -532,8 +560,10 @@ impl Cluster {
                 let rtt = self.cfg.costs.net_hop.saturating_mul(2);
                 let mut remote_done = now + rtt;
                 let j = dir_auth.index();
+                self.obs.on_remote_prefix(mds);
                 if !self.nodes[j].cache.peek(dir) {
                     self.nodes[j].life.disk_fetches += 1;
+                    self.obs.on_disk_fetch(dir_auth);
                     let res = self.store.fetch_inode(now, &self.ns, dir);
                     remote_done = remote_done.max(res.complete_at + rtt);
                     self.install_loaded(dir_auth, &res.loaded, dir, InsertKind::Prefix);
@@ -585,6 +615,7 @@ impl Cluster {
                     self.nodes[i].win.misses += 1;
                     self.hb_misses[i] += 1;
                     self.nodes[i].life.disk_fetches += 1;
+                    self.obs.on_disk_fetch(mds);
                     let res = self.store.fetch_dir(now, &self.ns, *dir);
                     io_done = io_done.max(res.complete_at);
                     self.install_loaded(mds, &res.loaded, InodeId(u64::MAX), InsertKind::Prefetch);
@@ -593,6 +624,7 @@ impl Cluster {
                     self.nodes[i].win.misses += 1;
                     self.hb_misses[i] += 1;
                     self.nodes[i].life.disk_fetches += 1;
+                    self.obs.on_disk_fetch(mds);
                     let res = self.store.fetch_dir(now, &self.ns, *dir);
                     io_done = io_done.max(res.complete_at);
                 }
@@ -602,6 +634,7 @@ impl Cluster {
                     self.nodes[i].win.misses += 1;
                     self.hb_misses[i] += 1;
                     self.nodes[i].life.disk_fetches += 1;
+                    self.obs.on_disk_fetch(mds);
                     // Entries of a hashed directory live in per-entry
                     // storage fragments; everything else follows the
                     // configured layout.
@@ -668,6 +701,7 @@ impl Cluster {
                     e.1 = e.1.max(now.as_micros());
                     self.dirty_shared.insert(*f);
                     self.shared_write_absorbed += 1;
+                    self.obs.on_shared_absorb(mds);
                     touched.push(*f);
                 } else if let Ok(ino) = self.ns.inode_mut(*f) {
                     ino.mtime_us = now.as_micros();
@@ -764,6 +798,7 @@ impl Cluster {
             writebacks.extend(self.nodes[i].journal.append(id));
         }
         let jdone = self.nodes[i].journal_disk.access(now, dynmds_storage::AccessKind::Write);
+        self.obs.on_journal_commit(jdone, req.client.0, mds, writebacks.len() as u64);
         // Retired entries stream to tier 2 asynchronously (don't block the
         // reply, do consume pool throughput).
         for wb in writebacks {
@@ -836,17 +871,57 @@ impl Cluster {
             self.clients.grant_lease(req.client, target, arrive + self.cfg.lease_ttl);
         }
         self.latency.record(arrive.saturating_since(req.issued_at).as_secs_f64());
+        self.obs.on_reply(arrive, req.client.0, mds, req.issued_at, req.hops);
         queue.schedule(arrive, SimEvent::Reply { client: req.client });
     }
 
     fn on_sample(&mut self, now: SimTime, queue: &mut EventQueue<SimEvent>) {
+        let track = self.obs.enabled();
+        let mut loads: Vec<u64> = Vec::new();
         for (i, n) in self.nodes.iter_mut().enumerate() {
             let w = n.take_window();
             self.served_series[i].push(now, w.served as f64);
             self.forwarded_series[i].push(now, w.forwarded as f64);
             self.received_series[i].push(now, w.received as f64);
+            if track {
+                loads.push(w.served);
+            }
+        }
+        if track {
+            self.push_obs_snapshot(now, loads);
         }
         queue.schedule(now + self.cfg.sample_every, SimEvent::Sample);
+    }
+
+    /// Gathers one per-MDS snapshot row (field order:
+    /// [`crate::obs::SNAPSHOT_FIELDS`]) — only called with obs enabled.
+    fn push_obs_snapshot(&mut self, now: SimTime, loads: Vec<u64>) {
+        let n_mds = self.nodes.len();
+        let mut row = Vec::with_capacity(crate::obs::SNAPSHOT_FIELDS.len() * n_mds);
+        row.extend_from_slice(&loads);
+        for n in &self.nodes {
+            row.push(n.cache.len() as u64);
+        }
+        for n in &self.nodes {
+            row.push(n.cache.prefix_count() as u64);
+        }
+        for n in &self.nodes {
+            row.push((n.cache.len() - n.cache.prefix_count()) as u64);
+        }
+        for n in &self.nodes {
+            row.push(n.journal.len() as u64);
+        }
+        let deleg_base = row.len();
+        row.resize(deleg_base + n_mds, 0);
+        if let Some(sub) = self.partition.as_subtree() {
+            for (_, m) in sub.delegations() {
+                row[deleg_base + m.index()] += 1;
+            }
+        }
+        for &alive in &self.alive {
+            row.push(alive as u64);
+        }
+        self.obs.snapshot(now, row);
     }
 }
 

@@ -126,6 +126,10 @@ pub struct SimConfig {
     pub sample_every: SimDuration,
     /// RNG seed for client think times and routing tie-breaks.
     pub seed: u64,
+
+    /// Observability switches (metrics registry, op-trace spans). Off by
+    /// default: the disabled path costs one branch per hook.
+    pub obs: dynmds_obs::ObsConfig,
 }
 
 impl SimConfig {
@@ -156,6 +160,7 @@ impl SimConfig {
             lease_ttl: SimDuration::from_secs(2),
             sample_every: SimDuration::from_secs(1),
             seed: 7,
+            obs: dynmds_obs::ObsConfig::default(),
         }
     }
 

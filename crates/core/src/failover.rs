@@ -67,6 +67,7 @@ impl Cluster {
         }
         self.alive[mds.index()] = false;
         self.failures += 1;
+        self.obs.on_failure();
 
         // RAM is gone. The journal is on shared storage and survives.
         let cap = self.cfg.cache_capacity;
@@ -116,6 +117,7 @@ impl Cluster {
         if inherited.is_empty() {
             return;
         }
+        self.obs.on_journal_warm(heir, inherited.len() as u64);
         // One journal read plus per-record replay cost.
         self.nodes[heir.index()].journal_disk.access(now, dynmds_storage::AccessKind::Read);
         let cost = self.cfg.costs.migrate_per_item.saturating_mul(inherited.len() as u64);
@@ -148,6 +150,7 @@ impl Cluster {
         }
         self.alive[mds.index()] = true;
         self.recoveries += 1;
+        self.obs.on_recovery();
         if !self.cfg.journal_warming {
             return; // ablation: come back cold
         }
@@ -155,6 +158,7 @@ impl Cluster {
         // §4.6 cache warming: the log approximates the working set.
         let mut ws: Vec<InodeId> = self.nodes[mds.index()].journal.working_set().collect();
         ws.sort_by_key(|&id| (self.ns.depth(id).unwrap_or(usize::MAX), id));
+        self.obs.on_journal_warm(mds, ws.len() as u64);
         self.nodes[mds.index()].journal_disk.access(now, dynmds_storage::AccessKind::Read);
         let cost = self.cfg.costs.migrate_per_item.saturating_mul(ws.len() as u64 + 1);
         self.nodes[mds.index()].occupy(now, cost);
@@ -202,6 +206,21 @@ mod tests {
         c.fail_node(SimTime::from_secs(1), MdsId(3));
         assert_eq!(c.live_authority(MdsId(2)), MdsId(0), "wraps the ring");
         assert_eq!(c.live_nodes(), 2);
+    }
+
+    #[test]
+    fn live_authority_with_all_nodes_dead_returns_input_unchanged() {
+        // The ring scan can come up empty (e.g. during teardown or a
+        // pathological failure schedule). The contract is: return the
+        // original authority untouched and let the caller decide.
+        let mut c = tiny_cluster(StrategyKind::FileHash);
+        for a in c.alive.iter_mut() {
+            *a = false;
+        }
+        assert_eq!(c.live_nodes(), 0);
+        for i in 0..4 {
+            assert_eq!(c.live_authority(MdsId(i)), MdsId(i), "degenerate map is identity");
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod cluster;
 pub mod config;
 pub mod failover;
 pub mod node;
+pub mod obs;
 pub mod report;
 pub mod request;
 pub mod sim;
@@ -43,6 +44,7 @@ pub use failover::FAILOVER_TIMEOUT;
 
 pub use cluster::Cluster;
 pub use config::{CostModel, SimConfig};
+pub use obs::{ClusterObs, ObsExport};
 pub use report::{NodeSnapshot, SimReport};
 pub use request::{Request, SimEvent};
 pub use sim::Simulation;

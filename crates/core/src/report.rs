@@ -45,6 +45,8 @@ pub struct SimReport {
     pub latency: Summary,
     /// Final per-node state.
     pub nodes: Vec<NodeSnapshot>,
+    /// Rendered observability exports, when enabled for the run.
+    pub obs: Option<crate::obs::ObsExport>,
 }
 
 impl SimReport {
@@ -170,6 +172,7 @@ mod tests {
             received_series: vec![TimeSeries::new(); nodes.len()],
             latency: Summary::new(),
             nodes,
+            obs: None,
         }
     }
 

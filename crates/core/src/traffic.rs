@@ -41,6 +41,7 @@ impl Cluster {
             self.nodes[j].occupy(now, msg_cost);
         }
         self.replicated.insert(target);
+        self.obs.on_replicate();
     }
 
     /// Heartbeat push of replica-absorbed write deltas to the authorities
@@ -89,6 +90,7 @@ impl Cluster {
                 write_hot && !absorbable
             })
             .collect();
+        self.obs.on_dereplicate(cooled.len() as u64);
         for id in cooled {
             self.replicated.remove(&id);
         }

@@ -1,0 +1,326 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms.
+//!
+//! Metrics are registered once, up front, and addressed afterwards by
+//! typed index handles — the hot path never touches a name or a hash
+//! map. Each metric is a flat `Vec<u64>` with one slot per MDS (or a
+//! single slot for cluster-wide scalars), so recording is one bounds
+//! check and one integer add. Export walks metrics in registration
+//! order, which is fixed by construction: byte-reproducible output.
+
+use crate::push_json_str;
+
+/// Handle to a registered counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+struct Metric {
+    name: &'static str,
+    /// One slot per MDS, or a single slot for scalars.
+    slots: Vec<u64>,
+}
+
+struct Histogram {
+    name: &'static str,
+    /// Inclusive upper bounds, strictly increasing; a final implicit
+    /// +inf bucket catches the rest.
+    bounds: &'static [u64],
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    fn observe(&mut self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+}
+
+/// Exponential microsecond bounds suitable for op latencies: 64 µs up to
+/// ~8.4 s, doubling each bucket.
+pub const LATENCY_BOUNDS_US: &[u64] = &[
+    64, 128, 256, 512, 1_024, 2_048, 4_096, 8_192, 16_384, 32_768, 65_536, 131_072, 262_144,
+    524_288, 1_048_576, 2_097_152, 4_194_304, 8_388_608,
+];
+
+/// Small linear bounds for hop counts and similar tiny distributions.
+pub const HOPS_BOUNDS: &[u64] = &[0, 1, 2, 3, 4];
+
+/// The per-cluster metrics registry. See module docs.
+#[derive(Default)]
+pub struct Registry {
+    counters: Vec<Metric>,
+    gauges: Vec<Metric>,
+    histograms: Vec<Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers a counter with `slots` slots (1 for a cluster scalar,
+    /// `n_mds` for per-server).
+    pub fn counter(&mut self, name: &'static str, slots: usize) -> CounterId {
+        assert!(slots > 0, "a counter needs at least one slot");
+        self.counters.push(Metric { name, slots: vec![0; slots] });
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers a gauge with `slots` slots.
+    pub fn gauge(&mut self, name: &'static str, slots: usize) -> GaugeId {
+        assert!(slots > 0, "a gauge needs at least one slot");
+        self.gauges.push(Metric { name, slots: vec![0; slots] });
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers a histogram over fixed `bounds` (strictly increasing).
+    pub fn histogram(&mut self, name: &'static str, bounds: &'static [u64]) -> HistogramId {
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must increase");
+        self.histograms.push(Histogram {
+            name,
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            max: 0,
+        });
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Adds 1 to a counter slot.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, slot: usize) {
+        self.counters[id.0].slots[slot] += 1;
+    }
+
+    /// Adds `v` to a counter slot.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, slot: usize, v: u64) {
+        self.counters[id.0].slots[slot] += v;
+    }
+
+    /// Sets a gauge slot.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, slot: usize, v: u64) {
+        self.gauges[id.0].slots[slot] = v;
+    }
+
+    /// Records one histogram observation.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, value: u64) {
+        self.histograms[id.0].observe(value);
+    }
+
+    /// A counter slot's current value.
+    pub fn counter_value(&self, id: CounterId, slot: usize) -> u64 {
+        self.counters[id.0].slots[slot]
+    }
+
+    /// Sum of a counter across its slots.
+    pub fn counter_total(&self, id: CounterId) -> u64 {
+        self.counters[id.0].slots.iter().sum()
+    }
+
+    /// A gauge slot's current value.
+    pub fn gauge_value(&self, id: GaugeId, slot: usize) -> u64 {
+        self.gauges[id.0].slots[slot]
+    }
+
+    /// Observations recorded by a histogram.
+    pub fn histogram_count(&self, id: HistogramId) -> u64 {
+        self.histograms[id.0].count
+    }
+
+    /// Mean of a histogram's observations (0 when empty).
+    pub fn histogram_mean(&self, id: HistogramId) -> f64 {
+        let h = &self.histograms[id.0];
+        if h.count == 0 {
+            0.0
+        } else {
+            h.sum as f64 / h.count as f64
+        }
+    }
+
+    /// Approximate quantile from the bucket boundaries: the upper bound
+    /// of the bucket holding the `q` quantile (the histogram's resolution
+    /// limit; exact enough for p50/p99 reporting).
+    pub fn histogram_quantile(&self, id: HistogramId, q: f64) -> u64 {
+        let h = &self.histograms[id.0];
+        if h.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * h.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in h.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank.max(1) {
+                return h.bounds.get(i).copied().unwrap_or(h.max);
+            }
+        }
+        h.max
+    }
+
+    /// Zeroes every metric (measurement restart after warm-up).
+    pub fn reset(&mut self) {
+        for m in self.counters.iter_mut().chain(self.gauges.iter_mut()) {
+            m.slots.iter_mut().for_each(|s| *s = 0);
+        }
+        for h in &mut self.histograms {
+            h.counts.iter_mut().for_each(|c| *c = 0);
+            h.count = 0;
+            h.sum = 0;
+            h.max = 0;
+        }
+    }
+
+    /// One JSONL line per metric, in registration order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for m in &self.counters {
+            Self::metric_line(&mut out, "counter", m.name, &m.slots);
+        }
+        for m in &self.gauges {
+            Self::metric_line(&mut out, "gauge", m.name, &m.slots);
+        }
+        for h in &self.histograms {
+            out.push_str("{\"type\":\"histogram\",\"name\":");
+            push_json_str(&mut out, h.name);
+            out.push_str(&format!(",\"count\":{},\"sum\":{},\"max\":{}", h.count, h.sum, h.max));
+            out.push_str(",\"bounds\":[");
+            for (i, b) in h.bounds.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&b.to_string());
+            }
+            out.push_str("],\"counts\":[");
+            for (i, c) in h.counts.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&c.to_string());
+            }
+            out.push_str("]}\n");
+        }
+        out
+    }
+
+    fn metric_line(out: &mut String, kind: &str, name: &str, slots: &[u64]) {
+        out.push_str("{\"type\":\"");
+        out.push_str(kind);
+        out.push_str("\",\"name\":");
+        push_json_str(out, name);
+        if slots.len() == 1 {
+            out.push_str(&format!(",\"value\":{}}}\n", slots[0]));
+        } else {
+            out.push_str(",\"per_mds\":[");
+            for (i, s) in slots.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&s.to_string());
+            }
+            out.push_str("]}\n");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_slot() {
+        let mut r = Registry::new();
+        let c = r.counter("served", 3);
+        r.inc(c, 0);
+        r.inc(c, 2);
+        r.add(c, 2, 5);
+        assert_eq!(r.counter_value(c, 0), 1);
+        assert_eq!(r.counter_value(c, 1), 0);
+        assert_eq!(r.counter_value(c, 2), 6);
+        assert_eq!(r.counter_total(c), 7);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut r = Registry::new();
+        let g = r.gauge("cache_len", 2);
+        r.set(g, 1, 40);
+        r.set(g, 1, 7);
+        assert_eq!(r.gauge_value(g, 1), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_by_upper_bound() {
+        let mut r = Registry::new();
+        let h = r.histogram("lat", &[10, 100, 1000]);
+        for v in [5, 10, 11, 100, 5000] {
+            r.observe(h, v);
+        }
+        assert_eq!(r.histogram_count(h), 5);
+        let line = r.to_jsonl();
+        assert!(line.contains("\"counts\":[2,2,0,1]"), "{line}");
+        assert_eq!(r.histogram_quantile(h, 0.5), 100);
+        assert_eq!(r.histogram_quantile(h, 1.0), 5000, "overflow bucket reports max");
+    }
+
+    #[test]
+    fn jsonl_is_stable_across_identical_sequences() {
+        let build = || {
+            let mut r = Registry::new();
+            let c = r.counter("ops", 2);
+            let g = r.gauge("depth", 1);
+            let h = r.histogram("lat_us", LATENCY_BOUNDS_US);
+            for i in 0..100u64 {
+                r.inc(c, (i % 2) as usize);
+                r.set(g, 0, i);
+                r.observe(h, i * 37);
+            }
+            r.to_jsonl()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn scalar_counters_render_value_not_array() {
+        let mut r = Registry::new();
+        let c = r.counter("migrations", 1);
+        r.add(c, 0, 9);
+        assert!(r.to_jsonl().contains("\"value\":9"));
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut r = Registry::new();
+        let c = r.counter("ops", 2);
+        let h = r.histogram("lat", &[10]);
+        r.inc(c, 0);
+        r.observe(h, 3);
+        r.reset();
+        assert_eq!(r.counter_total(c), 0);
+        assert_eq!(r.histogram_count(h), 0);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let mut r = Registry::new();
+        let h = r.histogram("lat", &[10]);
+        assert_eq!(r.histogram_quantile(h, 0.99), 0);
+        assert_eq!(r.histogram_mean(h), 0.0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Scoped op-lifecycle spans.
+//!
+//! One span traces a single client operation through the cluster:
+//! client dispatch → (forwarding hops / failover timeouts) → path
+//! traversal → target cache probe → journal commit → reply. The
+//! simulator serves at most one in-flight op per client, so the open
+//! span lives in a dense per-client slot — starting and finishing a span
+//! is an array store, no map.
+//!
+//! Completed spans land in a bounded ring buffer: when it fills, the
+//! oldest span is dropped (and counted), keeping memory flat over
+//! arbitrarily long runs while retaining the most recent window —
+//! what a post-mortem wants.
+
+use crate::push_json_str;
+
+/// A stage in the op lifecycle. The order of variants is the canonical
+/// stage order used in exports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanStage {
+    /// Client dispatched the request.
+    Issue,
+    /// Attribute read answered from the client's own lease, never
+    /// reaching the cluster.
+    LeaseLocal,
+    /// Request arrived at an MDS.
+    Arrive,
+    /// Non-authoritative receiver forwarded it.
+    Forward,
+    /// The addressed node was dead; the client re-drove the request.
+    DeadTimeout,
+    /// Target raced with an unlink; cheap error reply.
+    Estale,
+    /// Prefix traversal (incl. remote prefix fetches) completed.
+    Traverse,
+    /// Target metadata found in the serving node's cache.
+    CacheHit,
+    /// Target metadata fetched from tier-2 storage.
+    CacheMiss,
+    /// Mutation committed to the serving node's journal.
+    Journal,
+    /// Reply reached the client.
+    Reply,
+}
+
+impl SpanStage {
+    /// Stable export name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanStage::Issue => "issue",
+            SpanStage::LeaseLocal => "lease_local",
+            SpanStage::Arrive => "arrive",
+            SpanStage::Forward => "forward",
+            SpanStage::DeadTimeout => "dead_timeout",
+            SpanStage::Estale => "estale",
+            SpanStage::Traverse => "traverse",
+            SpanStage::CacheHit => "cache_hit",
+            SpanStage::CacheMiss => "cache_miss",
+            SpanStage::Journal => "journal",
+            SpanStage::Reply => "reply",
+        }
+    }
+}
+
+/// Sentinel for "no MDS involved in this stage".
+pub const NO_MDS: u16 = u16::MAX;
+
+/// One recorded stage transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Which stage.
+    pub stage: SpanStage,
+    /// Sim-clock timestamp, microseconds.
+    pub at_us: u64,
+    /// The MDS involved, or [`NO_MDS`].
+    pub mds: u16,
+}
+
+/// A completed (or in-flight) op trace.
+#[derive(Clone, Debug)]
+pub struct OpSpan {
+    /// Monotone per-run op sequence number.
+    pub op_id: u64,
+    /// Issuing client.
+    pub client: u32,
+    /// Operation kind tag (e.g. `"stat"`).
+    pub kind: &'static str,
+    /// Stage transitions in record order.
+    pub events: Vec<SpanEvent>,
+}
+
+impl OpSpan {
+    /// Serializes the span as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 32);
+        out.push_str(&format!("{{\"op\":{},\"client\":{},\"kind\":", self.op_id, self.client));
+        push_json_str(&mut out, self.kind);
+        out.push_str(",\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"s\":");
+            push_json_str(&mut out, e.stage.name());
+            out.push_str(&format!(",\"t\":{}", e.at_us));
+            if e.mds != NO_MDS {
+                out.push_str(&format!(",\"mds\":{}", e.mds));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Records spans for a population of clients. See module docs.
+pub struct SpanRecorder {
+    in_flight: Vec<Option<OpSpan>>,
+    ring: std::collections::VecDeque<OpSpan>,
+    cap: usize,
+    next_op_id: u64,
+    dropped: u64,
+    /// Event buffers of evicted/discarded spans, reused by the next
+    /// [`start`](Self::start) — once the ring fills, steady-state span
+    /// recording allocates nothing per op.
+    free: Vec<Vec<SpanEvent>>,
+}
+
+impl SpanRecorder {
+    /// A recorder for `n_clients` clients keeping at most `cap` completed
+    /// spans.
+    pub fn new(n_clients: usize, cap: usize) -> Self {
+        assert!(cap > 0, "span ring capacity must be positive");
+        SpanRecorder {
+            in_flight: (0..n_clients).map(|_| None).collect(),
+            ring: std::collections::VecDeque::with_capacity(cap.min(1 << 20)),
+            cap,
+            next_op_id: 0,
+            dropped: 0,
+            free: Vec::new(),
+        }
+    }
+
+    /// Opens a span for `client`'s next op. An unfinished previous span
+    /// (which the simulator never produces) is discarded.
+    pub fn start(&mut self, client: u32, kind: &'static str, at_us: u64) {
+        let op_id = self.next_op_id;
+        self.next_op_id += 1;
+        let mut events = self.free.pop().unwrap_or_default();
+        events.push(SpanEvent { stage: SpanStage::Issue, at_us, mds: NO_MDS });
+        let prev = self.in_flight[client as usize].replace(OpSpan { op_id, client, kind, events });
+        if let Some(p) = prev {
+            self.recycle(p.events);
+        }
+    }
+
+    /// Appends a stage to `client`'s open span (no-op if none is open).
+    pub fn event(&mut self, client: u32, stage: SpanStage, at_us: u64, mds: u16) {
+        if let Some(span) = &mut self.in_flight[client as usize] {
+            span.events.push(SpanEvent { stage, at_us, mds });
+        }
+    }
+
+    /// Closes `client`'s span with a final stage and moves it to the ring.
+    pub fn finish(&mut self, client: u32, stage: SpanStage, at_us: u64, mds: u16) {
+        let Some(mut span) = self.in_flight[client as usize].take() else {
+            return;
+        };
+        span.events.push(SpanEvent { stage, at_us, mds });
+        if self.ring.len() == self.cap {
+            if let Some(old) = self.ring.pop_front() {
+                self.recycle(old.events);
+            }
+            self.dropped += 1;
+        }
+        self.ring.push_back(span);
+    }
+
+    fn recycle(&mut self, mut events: Vec<SpanEvent>) {
+        events.clear();
+        self.free.push(events);
+    }
+
+    /// Completed spans currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no spans have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Spans evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total spans ever opened.
+    pub fn started(&self) -> u64 {
+        self.next_op_id
+    }
+
+    /// Iterates retained spans, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &OpSpan> {
+        self.ring.iter()
+    }
+
+    /// Discards all retained and in-flight spans (measurement restart).
+    /// Op ids keep counting so ids stay unique within the run.
+    pub fn reset(&mut self) {
+        while let Some(s) = self.ring.pop_front() {
+            self.recycle(s.events);
+        }
+        self.dropped = 0;
+        for s in &mut self.in_flight {
+            if let Some(p) = s.take() {
+                let mut ev = p.events;
+                ev.clear();
+                self.free.push(ev);
+            }
+        }
+    }
+
+    /// One JSON line per retained span, oldest first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for span in &self.ring {
+            out.push_str(&span.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_lifecycle_records_stage_order() {
+        let mut r = SpanRecorder::new(2, 8);
+        r.start(1, "stat", 100);
+        r.event(1, SpanStage::Arrive, 200, 3);
+        r.event(1, SpanStage::CacheHit, 200, 3);
+        r.finish(1, SpanStage::Reply, 400, 3);
+        assert_eq!(r.len(), 1);
+        let span = r.iter().next().unwrap();
+        assert_eq!(span.op_id, 0);
+        assert_eq!(span.events.len(), 4);
+        assert_eq!(span.events[0].stage, SpanStage::Issue);
+        assert_eq!(span.events[3].stage, SpanStage::Reply);
+        assert_eq!(span.events[3].at_us, 400);
+    }
+
+    #[test]
+    fn ring_drops_oldest_when_full() {
+        let mut r = SpanRecorder::new(1, 2);
+        for i in 0..4u64 {
+            r.start(0, "stat", i * 10);
+            r.finish(0, SpanStage::Reply, i * 10 + 5, 0);
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 2);
+        let ids: Vec<u64> = r.iter().map(|s| s.op_id).collect();
+        assert_eq!(ids, vec![2, 3], "most recent spans retained");
+        assert_eq!(r.started(), 4);
+    }
+
+    #[test]
+    fn events_without_open_span_are_ignored() {
+        let mut r = SpanRecorder::new(1, 2);
+        r.event(0, SpanStage::Arrive, 5, 0);
+        r.finish(0, SpanStage::Reply, 6, 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn json_shape_is_compact_and_omits_no_mds() {
+        let mut r = SpanRecorder::new(1, 2);
+        r.start(0, "open", 7);
+        r.finish(0, SpanStage::Reply, 9, 2);
+        let line = r.to_jsonl();
+        assert_eq!(
+            line,
+            "{\"op\":0,\"client\":0,\"kind\":\"open\",\"events\":[\
+             {\"s\":\"issue\",\"t\":7},{\"s\":\"reply\",\"t\":9,\"mds\":2}]}\n"
+        );
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_id_sequence() {
+        let mut r = SpanRecorder::new(1, 4);
+        r.start(0, "stat", 1);
+        r.finish(0, SpanStage::Reply, 2, 0);
+        r.reset();
+        assert!(r.is_empty());
+        r.start(0, "stat", 3);
+        r.finish(0, SpanStage::Reply, 4, 0);
+        assert_eq!(r.iter().next().unwrap().op_id, 1, "ids continue after reset");
+    }
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI bench smoke: run the quick experiment suite and fail if its wall
+# time regresses more than 25% against the committed BENCH_sim.json.
+# Pure timing gate — result correctness is the golden-figure job's
+# concern. The fresh JSON lands in target/bench-smoke/ (the committed
+# baseline is never overwritten) so CI can upload it as an artifact.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=target/bench-smoke
+mkdir -p "$OUT"
+
+cargo run --release --offline --locked --bin experiments -- bench --csv "$OUT"
+
+extract_total() {
+    grep -o '"total_wall_s": *[0-9.]*' "$1" | grep -o '[0-9.]*$'
+}
+fresh=$(extract_total "$OUT/BENCH_sim.json")
+base=$(extract_total BENCH_sim.json)
+
+# No bc in minimal CI images; awk does the float compare.
+awk -v f="$fresh" -v b="$base" 'BEGIN {
+    limit = b * 1.25
+    printf "bench smoke: fresh %.3fs vs committed %.3fs (limit %.3fs)\n", f, b, limit
+    if (f > limit) {
+        print "bench smoke: FAIL — quick suite slowed down more than 25%"
+        exit 1
+    }
+    print "bench smoke: ok"
+}'

@@ -13,28 +13,44 @@
 //!
 //! Each subcommand prints the figure's data as an aligned table; `--csv`
 //! additionally writes machine-readable CSVs.
+//!
+//! `--obs` (metrics + snapshots) and `--obs-trace` (additionally per-op
+//! spans) run one instrumented representative steady-state simulation
+//! after the chosen subcommand, print its summary, and write
+//! `obs_metrics.jsonl` / `obs_snapshots.jsonl` / `obs_trace.jsonl` (to
+//! `--csv DIR` when given, else the working directory). With `bench`,
+//! the instrumented run is timed against the uninstrumented one and the
+//! observability overhead is reported.
 
 use std::io::Write as _;
 
 use dynmds_event::SimDuration;
 use dynmds_harness::{ablation, flashrun, hitrate, scaling, scirun, shiftrun, ExperimentScale};
 use dynmds_metrics::Table;
+use dynmds_obs::ObsConfig;
 
 struct Args {
     scale: ExperimentScale,
     csv_dir: Option<String>,
     command: String,
+    obs: ObsConfig,
 }
 
 fn parse_args() -> Args {
     let mut scale = ExperimentScale::Full;
     let mut csv_dir = None;
     let mut command = None;
+    let mut obs = ObsConfig::default();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => scale = ExperimentScale::Quick,
             "--csv" => csv_dir = Some(it.next().unwrap_or_else(|| usage("missing --csv DIR"))),
+            "--obs" => obs.metrics = true,
+            "--obs-trace" => {
+                obs.metrics = true;
+                obs.trace = true;
+            }
             "-h" | "--help" => usage(""),
             other if !other.starts_with('-') && command.is_none() => {
                 command = Some(other.to_string())
@@ -42,7 +58,7 @@ fn parse_args() -> Args {
             other => usage(&format!("unknown argument: {other}")),
         }
     }
-    Args { scale, csv_dir, command: command.unwrap_or_else(|| "all".to_string()) }
+    Args { scale, csv_dir, command: command.unwrap_or_else(|| "all".to_string()), obs }
 }
 
 fn usage(err: &str) -> ! {
@@ -50,10 +66,47 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: experiments [--quick] [--csv DIR] \
-         <fig2|fig3|fig4|fig5|fig6|fig7|sci|ablate-prefetch|ablate-balance|ablate-dirhash|ablate-warming|ablate-leases|ablate-shared-writes|ablate-probation|all|bench>"
+        "usage: experiments [--quick] [--csv DIR] [--obs|--obs-trace] \
+         <fig2|fig3|fig4|fig5|fig6|fig7|sci|ablate-prefetch|ablate-balance|ablate-dirhash|ablate-warming|ablate-leases|ablate-shared-writes|ablate-probation|all|bench|obs>"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// The configuration both `bench` and `--obs` use as the representative
+/// steady-state simulation: the largest quick dynamic-subtree scaling
+/// point, the shape the hot path is tuned for.
+fn representative_config(obs: ObsConfig) -> dynmds_core::SimConfig {
+    let mut cfg = dynmds_harness::params::scaling_config(
+        dynmds_partition::StrategyKind::DynamicSubtree,
+        12,
+        ExperimentScale::Quick,
+    );
+    cfg.obs = obs;
+    cfg
+}
+
+/// Runs the instrumented representative simulation and writes its JSONL
+/// exports next to the CSVs.
+fn run_obs(args: &Args) {
+    eprintln!("obs: instrumented representative steady-state run...");
+    let report =
+        dynmds_harness::params::run_steady(representative_config(args.obs), ExperimentScale::Quick);
+    let export = report.obs.expect("obs enabled but report carries no export");
+    println!("{}", export.summary);
+    let dir = args.csv_dir.clone().unwrap_or_else(|| ".".to_string());
+    std::fs::create_dir_all(&dir).expect("create obs output dir");
+    let mut outputs = vec![
+        ("obs_metrics.jsonl", &export.metrics_jsonl),
+        ("obs_snapshots.jsonl", &export.snapshots_jsonl),
+    ];
+    if let Some(trace) = &export.trace_jsonl {
+        outputs.push(("obs_trace.jsonl", trace));
+    }
+    for (name, body) in outputs {
+        let path = format!("{dir}/{name}");
+        std::fs::write(&path, body).expect("write obs jsonl");
+        eprintln!("wrote {path}");
+    }
 }
 
 fn emit(args: &Args, name: &str, table: &Table) {
@@ -85,16 +138,28 @@ fn run_bench(args: &Args) {
     // Representative simulation: the largest quick dynamic-subtree
     // scaling point, the configuration the hot path is tuned for.
     eprintln!("bench: representative steady-state run...");
-    let cfg = dynmds_harness::params::scaling_config(
-        dynmds_partition::StrategyKind::DynamicSubtree,
-        12,
-        scale,
-    );
     let t0 = Instant::now();
-    let report = dynmds_harness::params::run_steady(cfg, scale);
+    let report =
+        dynmds_harness::params::run_steady(representative_config(ObsConfig::default()), scale);
     let rep_wall_s = t0.elapsed().as_secs_f64();
     let ops_simulated = report.total_served();
     let ops_per_sec = ops_simulated as f64 / rep_wall_s.max(1e-9);
+
+    // With --obs/--obs-trace, time the same run instrumented and report
+    // the observability overhead (not part of BENCH_sim.json: the
+    // committed baseline tracks the uninstrumented hot path).
+    if args.obs.enabled() {
+        eprintln!("bench: instrumented representative run...");
+        let t = Instant::now();
+        let obs_report = dynmds_harness::params::run_steady(representative_config(args.obs), scale);
+        let obs_wall_s = t.elapsed().as_secs_f64();
+        assert!(obs_report.obs.is_some(), "obs enabled but report carries no export");
+        println!(
+            "bench: obs {} overhead: {obs_wall_s:.3}s vs {rep_wall_s:.3}s ({:+.1}%)",
+            if args.obs.trace { "metrics+trace" } else { "metrics" },
+            100.0 * (obs_wall_s - rep_wall_s) / rep_wall_s.max(1e-9)
+        );
+    }
 
     let mut stages: Vec<(&str, f64)> = Vec::new();
     let mut stage = |name: &'static str, body: &mut dyn FnMut()| {
@@ -302,5 +367,15 @@ fn main() {
                 &pts,
             ),
         );
+    }
+
+    // `obs` alone (or any figure combined with --obs/--obs-trace) ends
+    // with the instrumented representative run.
+    if args.obs.enabled() || args.command == "obs" {
+        let mut args = args;
+        if !args.obs.enabled() {
+            args.obs = ObsConfig::metrics_only();
+        }
+        run_obs(&args);
     }
 }

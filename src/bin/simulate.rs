@@ -20,7 +20,16 @@
 //!   --dir-hash N        hash directories beyond N entries
 //!   --fail MDS@SECS     kill a node mid-run (repeatable)
 //!   --recover MDS@SECS  bring a node back (repeatable)
+//!   --obs               enable the metrics registry + snapshots
+//!   --obs-trace         additionally record per-op lifecycle spans
+//!   --obs-out DIR       where the obs JSONL exports go             (.)
 //! ```
+//!
+//! With `--obs`/`--obs-trace` the run ends with a human-readable
+//! observability summary and writes `obs_metrics.jsonl`,
+//! `obs_snapshots.jsonl` and (tracing only) `obs_trace.jsonl`. All
+//! exports are timestamped with the sim clock and byte-identical across
+//! runs with the same seed.
 
 use dynmds_core::{SimConfig, Simulation};
 use dynmds_event::{SimDuration, SimTime};
@@ -46,6 +55,8 @@ struct Args {
     no_traffic_control: bool,
     dir_hash: usize,
     faults: Vec<(u16, u64, bool)>, // (mds, secs, is_recovery)
+    obs: dynmds_obs::ObsConfig,
+    obs_out: String,
 }
 
 fn usage(err: &str) -> ! {
@@ -83,6 +94,8 @@ fn parse_args() -> Args {
         no_traffic_control: false,
         dir_hash: 0,
         faults: Vec::new(),
+        obs: dynmds_obs::ObsConfig::default(),
+        obs_out: ".".into(),
     };
     let mut it = std::env::args().skip(1);
     let next = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -134,6 +147,12 @@ fn parse_args() -> Args {
                 let (m, s) = parse_fault(&next(&mut it, &f));
                 a.faults.push((m, s, true));
             }
+            "--obs" => a.obs.metrics = true,
+            "--obs-trace" => {
+                a.obs.metrics = true;
+                a.obs.trace = true;
+            }
+            "--obs-out" => a.obs_out = next(&mut it, &f),
             "-h" | "--help" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -159,6 +178,7 @@ fn main() {
     if a.no_traffic_control {
         cfg.traffic_control = false;
     }
+    cfg.obs = a.obs;
 
     let snapshot =
         NamespaceSpec::with_target_items(a.n_clients as usize, a.items, a.seed ^ 0xF5).generate();
@@ -255,4 +275,21 @@ fn main() {
         ]);
     }
     println!("\n{}", t.render());
+
+    if let Some(export) = &report.obs {
+        println!("\n{}", export.summary);
+        std::fs::create_dir_all(&a.obs_out).expect("create --obs-out dir");
+        let mut outputs = vec![
+            ("obs_metrics.jsonl", &export.metrics_jsonl),
+            ("obs_snapshots.jsonl", &export.snapshots_jsonl),
+        ];
+        if let Some(trace) = &export.trace_jsonl {
+            outputs.push(("obs_trace.jsonl", trace));
+        }
+        for (name, body) in outputs {
+            let path = format!("{}/{name}", a.obs_out);
+            std::fs::write(&path, body).expect("write obs jsonl");
+            eprintln!("wrote {path}");
+        }
+    }
 }

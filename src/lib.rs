@@ -35,6 +35,7 @@
 //! * [`core`] — MDS cluster simulator (the paper's contribution)
 //! * [`workload`] — synthetic workload generators
 //! * [`metrics`] — measurement and reporting
+//! * [`obs`] — deterministic observability (metrics registry, op spans)
 //! * [`harness`] — per-figure experiment runners
 
 pub use dynmds_cache as cache;
@@ -43,6 +44,7 @@ pub use dynmds_event as event;
 pub use dynmds_harness as harness;
 pub use dynmds_metrics as metrics;
 pub use dynmds_namespace as namespace;
+pub use dynmds_obs as obs;
 pub use dynmds_partition as partition;
 pub use dynmds_storage as storage;
 pub use dynmds_workload as workload;

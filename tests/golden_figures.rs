@@ -20,12 +20,76 @@ fn golden(name: &str) -> String {
 }
 
 fn assert_matches_golden(name: &str, table: &Table) {
-    assert_eq!(
-        table.to_csv(),
-        golden(name),
-        "{name}.csv drifted from the seed revision's output — the hot-path \
-         optimizations must be result-preserving"
+    let actual = table.to_csv();
+    let expected = golden(name);
+    if actual == expected {
+        return;
+    }
+    // Persist the regenerated CSV so CI (and humans) can re-diff it:
+    //   diff -u tests/golden/quick/<name>.csv target/golden-actual/<name>.csv
+    let dir = format!("{}/target/golden-actual", env!("CARGO_MANIFEST_DIR"));
+    std::fs::create_dir_all(&dir).ok();
+    let path = format!("{dir}/{name}.csv");
+    std::fs::write(&path, &actual).ok();
+    panic!(
+        "{name}.csv drifted from the seed revision's output — changes to the \
+         simulator must stay result-preserving\n\
+         regenerated CSV written to {path}\n{}",
+        unified_diff(&expected, &actual)
     );
+}
+
+/// Line-level unified diff (full context — golden CSVs are small).
+fn unified_diff(expected: &str, actual: &str) -> String {
+    let a: Vec<&str> = expected.lines().collect();
+    let b: Vec<&str> = actual.lines().collect();
+    let mut lcs = vec![vec![0usize; b.len() + 1]; a.len() + 1];
+    for i in (0..a.len()).rev() {
+        for j in (0..b.len()).rev() {
+            lcs[i][j] =
+                if a[i] == b[j] { lcs[i + 1][j + 1] + 1 } else { lcs[i + 1][j].max(lcs[i][j + 1]) };
+        }
+    }
+    let mut out = String::from("--- golden\n+++ regenerated\n");
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let (tag, line) = if a[i] == b[j] {
+            let l = a[i];
+            (i, j) = (i + 1, j + 1);
+            (' ', l)
+        } else if lcs[i + 1][j] >= lcs[i][j + 1] {
+            let l = a[i];
+            i += 1;
+            ('-', l)
+        } else {
+            let l = b[j];
+            j += 1;
+            ('+', l)
+        };
+        out.push(tag);
+        out.push_str(line);
+        out.push('\n');
+    }
+    for line in &a[i..] {
+        out.push('-');
+        out.push_str(line);
+        out.push('\n');
+    }
+    for line in &b[j..] {
+        out.push('+');
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn unified_diff_marks_changed_lines() {
+    let d = unified_diff("h\na,1\nb,2\n", "h\na,1\nb,3\n");
+    assert!(d.starts_with("--- golden\n+++ regenerated\n"), "{d}");
+    assert!(d.contains(" h\n"), "{d}");
+    assert!(d.contains("-b,2\n"), "{d}");
+    assert!(d.contains("+b,3\n"), "{d}");
 }
 
 #[test]

@@ -1,0 +1,105 @@
+//! Integration tests for the observability layer: determinism of the
+//! exports (metrics, snapshots, op-trace spans) across same-seed runs —
+//! including a failover mid-trace — and internal consistency between
+//! the registry and the simulator's own accounting.
+
+use dynmds::core::{ObsExport, SimConfig, Simulation};
+use dynmds::event::SimTime;
+use dynmds::namespace::{MdsId, NamespaceSpec};
+use dynmds::obs::ObsConfig;
+use dynmds::partition::StrategyKind;
+use dynmds::workload::{GeneralWorkload, WorkloadConfig};
+
+fn sim(obs: ObsConfig) -> Simulation {
+    let mut cfg = SimConfig::small(StrategyKind::DynamicSubtree);
+    cfg.n_mds = 4;
+    cfg.n_clients = 32;
+    cfg.seed = 55;
+    cfg.obs = obs;
+    let snap = NamespaceSpec::with_target_items(32, 8_000, 5).generate();
+    let wl = Box::new(GeneralWorkload::new(
+        WorkloadConfig { seed: 56, ..Default::default() },
+        32,
+        &snap.user_homes,
+        &snap.shared_roots,
+        &snap.ns,
+    ));
+    Simulation::new(cfg, snap, wl)
+}
+
+/// Runs warm-up + measurement with a failure and a recovery injected
+/// mid-measurement, returning the obs exports.
+fn traced_failover_run(obs: ObsConfig) -> ObsExport {
+    let mut s = sim(obs);
+    s.schedule_failure(SimTime::from_secs(4), MdsId(1));
+    s.schedule_recovery(SimTime::from_secs(7), MdsId(1));
+    s.run_until(SimTime::from_secs(2));
+    s.cluster_mut().reset_measurement(SimTime::from_secs(2));
+    s.run_until(SimTime::from_secs(9));
+    s.finish().obs.expect("obs enabled")
+}
+
+#[test]
+fn same_seed_runs_export_byte_identical_obs_under_failover() {
+    let a = traced_failover_run(ObsConfig::full());
+    let b = traced_failover_run(ObsConfig::full());
+    assert_eq!(a.metrics_jsonl, b.metrics_jsonl, "metrics must be byte-identical");
+    assert_eq!(a.snapshots_jsonl, b.snapshots_jsonl, "snapshots must be byte-identical");
+    assert_eq!(a.trace_jsonl, b.trace_jsonl, "span traces must be byte-identical");
+    assert_eq!(a.summary, b.summary, "summaries must be byte-identical");
+    let trace = a.trace_jsonl.expect("tracing was on");
+    assert!(!trace.is_empty(), "spans were recorded");
+    assert!(trace.contains("\"s\":\"dead_timeout\""), "failover visible in spans");
+    assert!(a.metrics_jsonl.contains("\"name\":\"node_failures\",\"value\":1"));
+    assert!(a.metrics_jsonl.contains("\"name\":\"node_recoveries\",\"value\":1"));
+}
+
+#[test]
+fn obs_disabled_report_carries_no_export() {
+    let mut s = sim(ObsConfig::default());
+    s.run_until(SimTime::from_secs(3));
+    let report = s.finish();
+    assert!(report.obs.is_none());
+}
+
+#[test]
+fn registry_counters_agree_with_cluster_accounting() {
+    // No reset_measurement here: the registry restarts on reset while the
+    // report's node counters are lifetime, so only an unreset run can
+    // compare the two directly.
+    let mut s = sim(ObsConfig::metrics_only());
+    s.run_until(SimTime::from_secs(6));
+    let report = s.finish();
+    let export = report.obs.as_ref().expect("obs enabled");
+    assert!(export.trace_jsonl.is_none(), "metrics-only run records no spans");
+
+    // The per-MDS served/forwarded/received counters in the registry
+    // must match the lifetime counters the report is built from.
+    for (i, n) in report.nodes.iter().enumerate() {
+        for (name, want) in
+            [("served", n.served), ("forwarded", n.forwarded), ("received", n.received)]
+        {
+            let line = export
+                .metrics_jsonl
+                .lines()
+                .find(|l| l.contains(&format!("\"name\":\"{name}\"")))
+                .unwrap_or_else(|| panic!("metric {name} missing"));
+            let values = parse_per_mds(line);
+            assert_eq!(values[i], want, "{name}[mds{i}] disagrees with the report");
+        }
+    }
+    // Snapshots cover the measurement window at the sampling interval.
+    assert!(!export.snapshots_jsonl.is_empty(), "snapshot rows were captured");
+    for row in export.snapshots_jsonl.lines() {
+        for field in ["\"load\":", "\"cache_len\":", "\"journal_depth\":", "\"alive\":"] {
+            assert!(row.contains(field), "snapshot row missing {field}: {row}");
+        }
+    }
+}
+
+/// Pulls the `"per_mds":[…]` array out of a metrics JSONL line.
+fn parse_per_mds(line: &str) -> Vec<u64> {
+    let start = line.find("\"per_mds\":[").expect("per_mds array") + "\"per_mds\":[".len();
+    let end = start + line[start..].find(']').expect("array close");
+    line[start..end].split(',').map(|v| v.parse().expect("integer slot")).collect()
+}
