@@ -26,11 +26,12 @@ use dynmds_namespace::{
     ClientId, FxHashMap, FxHashSet, InodeId, MdsId, Namespace, Permissions, Snapshot,
 };
 use dynmds_partition::{dentry_hash, Partition, StrategyKind};
-use dynmds_storage::{AnchorTable, MetadataStore, OsdPool, StoreLayout};
+use dynmds_storage::{AnchorTable, DiskFault, MetadataStore, OsdPool, StoreLayout};
 use dynmds_workload::{Op, Workload};
 
 use crate::client::{ClientPool, KnownLocation};
 use crate::config::SimConfig;
+use crate::fault::{DiskScope, NetFaultSpec};
 use crate::node::MdsNode;
 use crate::obs::ClusterObs;
 use crate::report::{NodeSnapshot, SimReport};
@@ -96,6 +97,30 @@ pub struct Cluster {
     pub recoveries: u64,
     /// Requests that timed out against a dead node and were re-driven.
     pub failover_timeouts: u64,
+    /// Scheduled failures skipped because they would have killed the last
+    /// live node (churn-generated crashes only).
+    pub failures_skipped: u64,
+
+    // --- fault injection & retry (this crate's `fault` module) ----------
+    /// Dedicated stream for fault draws (retry jitter, message loss and
+    /// duplication). Fault-free runs never draw from it, keeping them
+    /// byte-identical to builds without fault injection.
+    pub(crate) fault_rng: SimRng,
+    /// Active network fault window, if any.
+    pub(crate) net_fault: Option<NetFaultSpec>,
+    /// Client retries driven (dead-node timeouts + lost messages).
+    pub retries_total: u64,
+    /// Operations abandoned after exhausting the retry budget.
+    pub gave_up: u64,
+    /// Messages dropped by the network fault window.
+    pub net_lost: u64,
+    /// Messages duplicated by the network fault window.
+    pub net_dup: u64,
+    /// Operations issued by clients (including lease-served ones).
+    pub ops_issued: u64,
+    /// Operations that reached a terminal outcome (reply, ESTALE reply,
+    /// or gave-up).
+    pub ops_completed: u64,
 
     // --- accounting -----------------------------------------------------
     /// Served operations by kind (MDS-visible; lease-served reads are not
@@ -190,6 +215,15 @@ impl Cluster {
             failures: 0,
             recoveries: 0,
             failover_timeouts: 0,
+            failures_skipped: 0,
+            fault_rng: SimRng::seed_from_u64(cfg.seed ^ 0xFA17),
+            net_fault: None,
+            retries_total: 0,
+            gave_up: 0,
+            net_lost: 0,
+            net_dup: 0,
+            ops_issued: 0,
+            ops_completed: 0,
             op_counts: FxHashMap::default(),
             dirty_shared: FxHashSet::default(),
             traverse_scratch: Vec::new(),
@@ -308,6 +342,7 @@ impl Cluster {
     fn on_issue(&mut self, now: SimTime, client: ClientId, queue: &mut EventQueue<SimEvent>) {
         let op = self.workload.next_op(&self.ns, client, now);
         let target = op.target();
+        self.ops_issued += 1;
         self.obs.on_issue(now, client.0, crate::obs::op_kind_tag(op.kind()));
         // §4.2 client leases: attribute reads under a live lease never
         // leave the client.
@@ -329,12 +364,73 @@ impl Cluster {
             // Possibly stale or dead — corrected by forwarding/timeout.
             self.clients.route(&self.ns, client, target)
         } else {
-            // Hashed clients know the placement function *and* the
-            // cluster's liveness map.
-            self.live_authority(self.authority_for_op(&op))
+            // Hashed clients know the placement function, but *not* the
+            // cluster's liveness map: they address the mapped server and
+            // discover failures the same way subtree clients do — by
+            // timing out and re-driving at a survivor.
+            self.authority_for_op(&op)
         };
-        let req = Request { client, uid: self.clients.uid(client), op, issued_at: now, hops: 0 };
-        queue.schedule(now + self.cfg.costs.net_hop, SimEvent::Arrive { mds: dest, req });
+        let req = Request {
+            client,
+            uid: self.clients.uid(client),
+            op,
+            issued_at: now,
+            hops: 0,
+            retries: 0,
+        };
+        self.send_to_mds(now, dest, req, queue);
+    }
+
+    /// Puts a request on the wire towards `mds` at `at`, applying the
+    /// active network fault window: a lost send is discovered by the
+    /// client's timeout and re-driven through the retry policy; a
+    /// duplicated send costs the receiver a discard.
+    fn send_to_mds(
+        &mut self,
+        at: SimTime,
+        mds: MdsId,
+        req: Request,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
+        if let Some(nf) = self.net_fault {
+            if nf.loss_p > 0.0 && self.fault_rng.chance(nf.loss_p) {
+                self.net_lost += 1;
+                self.obs.on_net_loss();
+                self.drive_retry(at + crate::failover::FAILOVER_TIMEOUT, req, queue);
+                return;
+            }
+            if nf.dup_p > 0.0 && self.fault_rng.chance(nf.dup_p) {
+                self.net_dup += 1;
+                self.obs.on_net_dup();
+                queue.schedule(at + self.cfg.costs.net_hop, SimEvent::NetDup { mds });
+            }
+        }
+        queue.schedule(at + self.cfg.costs.net_hop, SimEvent::Arrive { mds, req });
+    }
+
+    /// Client-side recovery after a failed delivery (dead-node timeout or
+    /// lost message), detected at `detect_at`: capped retries with
+    /// exponential backoff and seeded jitter, then a terminal gave-up.
+    fn drive_retry(
+        &mut self,
+        detect_at: SimTime,
+        mut req: Request,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
+        req.retries = req.retries.saturating_add(1);
+        if req.retries > self.cfg.retry.max_retries {
+            // Terminal outcome: the op is abandoned. No latency sample is
+            // recorded (the op never completed) and the client moves on.
+            self.gave_up += 1;
+            self.obs.on_gave_up(detect_at, req.client.0);
+            queue.schedule(detect_at, SimEvent::Reply { client: req.client });
+            return;
+        }
+        self.retries_total += 1;
+        self.obs.on_retry(detect_at, req.client.0);
+        let delay = self.cfg.retry.delay(req.retries, &mut self.fault_rng);
+        let heir = self.live_authority(self.authority_for_op(&req.op));
+        self.send_to_mds(detect_at + delay, heir, req, queue);
     }
 
     fn on_arrive(
@@ -345,17 +441,13 @@ impl Cluster {
         queue: &mut EventQueue<SimEvent>,
     ) {
         // A dead host never answers: the request times out client-side
-        // and is re-driven at the live authority.
+        // and is re-driven at the live authority through the retry
+        // policy. Hops are preserved — a request that keeps landing on
+        // dying nodes must not evade the forwarding bound.
         if !self.alive[mds.index()] {
             self.failover_timeouts += 1;
             self.obs.on_dead_timeout(now, req.client.0, mds);
-            let heir = self.live_authority(self.authority_for_op(&req.op));
-            let mut retry = req;
-            retry.hops = 0;
-            queue.schedule(
-                now + crate::failover::FAILOVER_TIMEOUT + self.cfg.costs.net_hop,
-                SimEvent::Arrive { mds: heir, req: retry },
-            );
+            self.drive_retry(now + crate::failover::FAILOVER_TIMEOUT, req, queue);
             return;
         }
 
@@ -389,7 +481,7 @@ impl Cluster {
             let done = self.nodes[i].occupy(now, self.cfg.costs.cpu_forward);
             let mut fwd = req;
             fwd.hops += 1;
-            queue.schedule(done + self.cfg.costs.net_hop, SimEvent::Arrive { mds: auth, req: fwd });
+            self.send_to_mds(done, auth, fwd, queue);
             return;
         }
 
@@ -865,7 +957,23 @@ impl Cluster {
             }
             let _ = mds;
         }
-        let arrive = reply_at + self.cfg.costs.net_hop;
+        let mut arrive = reply_at + self.cfg.costs.net_hop;
+        if let Some(nf) = self.net_fault {
+            if nf.loss_p > 0.0 && self.fault_rng.chance(nf.loss_p) {
+                // Lost reply: the client's retransmission hits the
+                // server's reply cache — modelled as a delayed delivery,
+                // so the extra wait lands in the latency sample without
+                // re-applying the operation.
+                self.net_lost += 1;
+                self.obs.on_net_loss();
+                arrive += crate::failover::FAILOVER_TIMEOUT;
+            }
+            if nf.dup_p > 0.0 && self.fault_rng.chance(nf.dup_p) {
+                // Duplicate reply: discarded by the client; counted only.
+                self.net_dup += 1;
+                self.obs.on_net_dup();
+            }
+        }
         // Attribute-read replies piggyback a lease (§4.2).
         if self.cfg.client_leases && !req.op.is_update() && self.ns.is_alive(target) {
             self.clients.grant_lease(req.client, target, arrive + self.cfg.lease_ttl);
@@ -873,6 +981,20 @@ impl Cluster {
         self.latency.record(arrive.saturating_since(req.issued_at).as_secs_f64());
         self.obs.on_reply(arrive, req.client.0, mds, req.issued_at, req.hops);
         queue.schedule(arrive, SimEvent::Reply { client: req.client });
+    }
+
+    /// Applies (or clears) a disk degradation window on the given scope.
+    /// Seeds derive from the run seed so replays are identical.
+    fn set_disk_fault(&mut self, scope: DiskScope, fault: Option<DiskFault>) {
+        let base = self.cfg.seed ^ 0xD15C;
+        if matches!(scope, DiskScope::Osd | DiskScope::All) {
+            self.store.set_pool_fault(fault, base);
+        }
+        if matches!(scope, DiskScope::Journal | DiskScope::All) {
+            for (i, n) in self.nodes.iter_mut().enumerate() {
+                n.journal_disk.set_fault(fault, base ^ ((i as u64 + 1) << 32));
+            }
+        }
     }
 
     fn on_sample(&mut self, now: SimTime, queue: &mut EventQueue<SimEvent>) {
@@ -931,6 +1053,7 @@ impl Handler<SimEvent> for Cluster {
             SimEvent::Issue(client) => self.on_issue(now, client, queue),
             SimEvent::Arrive { mds, req } => self.on_arrive(now, mds, req, queue),
             SimEvent::Reply { client } => {
+                self.ops_completed += 1;
                 let think_us =
                     self.rng.exponential(self.cfg.costs.think_mean.as_micros() as f64) as u64;
                 queue.schedule(now + SimDuration::from_micros(think_us), SimEvent::Issue(client));
@@ -940,8 +1063,17 @@ impl Handler<SimEvent> for Cluster {
                 queue.schedule(now + self.cfg.heartbeat, SimEvent::Heartbeat);
             }
             SimEvent::Sample => self.on_sample(now, queue),
-            SimEvent::Fail(mds) => self.fail_node(now, mds),
+            SimEvent::Fail(mds) => self.try_fail_node(now, mds),
             SimEvent::Recover(mds) => self.recover_node(now, mds),
+            SimEvent::SetDiskFault { scope, fault } => self.set_disk_fault(scope, fault),
+            SimEvent::SetNetFault(spec) => self.net_fault = spec,
+            SimEvent::NetDup { mds } => {
+                // A duplicated delivery: the server spends a discard's
+                // worth of CPU recognizing the replayed request.
+                if self.alive[mds.index()] {
+                    self.nodes[mds.index()].occupy(now, self.cfg.costs.cpu_forward);
+                }
+            }
         }
     }
 }
@@ -957,7 +1089,14 @@ mod tests {
     use crate::testutil::tiny_cluster;
 
     fn request(op: Op) -> Request {
-        Request { client: ClientId(0), uid: 1, op, issued_at: SimTime::from_millis(1), hops: 0 }
+        Request {
+            client: ClientId(0),
+            uid: 1,
+            op,
+            issued_at: SimTime::from_millis(1),
+            hops: 0,
+            retries: 0,
+        }
     }
 
     #[test]
@@ -1066,5 +1205,55 @@ mod tests {
         let lh = c.partition.as_lazy().unwrap();
         assert_eq!(lh.lifetime_stats().permission_updates, 1, "pending ACL applied on access");
         assert_eq!(lh.pending_for(&c.ns, file).total(), 0);
+    }
+
+    #[test]
+    fn dead_node_retry_preserves_forwarding_hops() {
+        // Regression: the re-driven request used to restart with hops = 0,
+        // letting a request bounce through dead nodes forever without
+        // tripping the forwarding bound.
+        let mut c = tiny_cluster(StrategyKind::DynamicSubtree);
+        let file = c.ns.walk(c.ns.root()).find(|&i| !c.ns.is_dir(i)).unwrap();
+        let dead = MdsId((c.authority_of(file).0 + 1) % 4);
+        c.fail_node(SimTime::from_millis(1), dead);
+        let mut q: EventQueue<SimEvent> = EventQueue::new();
+        let mut req = request(Op::Stat(file));
+        req.hops = 2;
+        c.handle(SimTime::from_millis(1), SimEvent::Arrive { mds: dead, req }, &mut q);
+        assert_eq!(c.failover_timeouts, 1);
+        assert_eq!(c.retries_total, 1);
+        let ev = q.pop().expect("re-driven request queued");
+        match ev.event {
+            SimEvent::Arrive { mds, req } => {
+                assert!(c.is_alive_node(mds), "retry targets a live node");
+                assert_eq!(req.hops, 2, "forwarding hops must survive the retry");
+                assert_eq!(req.retries, 1, "retry count advances instead");
+            }
+            other => panic!("expected Arrive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_gives_up_with_a_bare_reply() {
+        let mut c = tiny_cluster(StrategyKind::DynamicSubtree);
+        c.cfg.retry.max_retries = 0;
+        let file = c.ns.walk(c.ns.root()).find(|&i| !c.ns.is_dir(i)).unwrap();
+        let dead = MdsId((c.authority_of(file).0 + 1) % 4);
+        c.fail_node(SimTime::from_millis(1), dead);
+        let mut q: EventQueue<SimEvent> = EventQueue::new();
+        c.handle(
+            SimTime::from_millis(1),
+            SimEvent::Arrive { mds: dead, req: request(Op::Stat(file)) },
+            &mut q,
+        );
+        assert_eq!(c.gave_up, 1);
+        assert_eq!(c.retries_total, 0, "an abandoned op is not a retry");
+        let ev = q.pop().expect("terminal reply queued");
+        assert!(
+            matches!(ev.event, SimEvent::Reply { client } if client == ClientId(0)),
+            "exhausted budget must release the client, got {:?}",
+            ev.event
+        );
+        assert!(q.pop().is_none(), "nothing else scheduled for the abandoned op");
     }
 }

@@ -127,6 +127,11 @@ pub struct SimConfig {
     /// RNG seed for client think times and routing tie-breaks.
     pub seed: u64,
 
+    /// Client retry behaviour after dead-node timeouts / lost messages.
+    pub retry: crate::fault::RetryPolicy,
+    /// Fault-injection schedule (empty = fault-free run).
+    pub faults: crate::fault::FaultSchedule,
+
     /// Observability switches (metrics registry, op-trace spans). Off by
     /// default: the disabled path costs one branch per hook.
     pub obs: dynmds_obs::ObsConfig,
@@ -160,6 +165,8 @@ impl SimConfig {
             lease_ttl: SimDuration::from_secs(2),
             sample_every: SimDuration::from_secs(1),
             seed: 7,
+            retry: crate::fault::RetryPolicy::default(),
+            faults: crate::fault::FaultSchedule::default(),
             obs: dynmds_obs::ObsConfig::default(),
         }
     }

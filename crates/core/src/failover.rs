@@ -59,6 +59,29 @@ impl Cluster {
         auth // no live node: degenerate, caller's problem
     }
 
+    /// Subtree roots `mds` currently hosts beyond its initial assignment
+    /// (inherited via failover or migrated in by the balancer).
+    pub fn imported_of(&self, mds: MdsId) -> &[InodeId] {
+        &self.imported[mds.index()]
+    }
+
+    /// Event-path variant of [`fail_node`] for generated churn: a crash
+    /// that would kill the last live node is skipped (and counted)
+    /// instead of panicking — a random schedule may legitimately line up
+    /// every node's down-time.
+    ///
+    /// [`fail_node`]: Cluster::fail_node
+    pub fn try_fail_node(&mut self, now: SimTime, mds: MdsId) {
+        if !self.alive[mds.index()] {
+            return; // already down: no-op, mirroring fail_node
+        }
+        if self.live_nodes() == 1 {
+            self.failures_skipped += 1;
+            return;
+        }
+        self.fail_node(now, mds);
+    }
+
     /// Kills `mds` at `now`. Panics if it is the last live node.
     pub fn fail_node(&mut self, now: SimTime, mds: MdsId) {
         assert!(self.live_nodes() > 1, "cannot fail the last node");
@@ -85,8 +108,12 @@ impl Cluster {
         };
         let survivors: Vec<MdsId> =
             (0..self.nodes.len()).filter(|&i| self.alive[i]).map(|i| MdsId(i as u16)).collect();
+        // Rotate the round-robin start by the failure count so successive
+        // failures don't pile every inherited subtree onto the same
+        // low-indexed survivors.
+        let offset = self.failures as usize;
         for (k, root) in owned.into_iter().enumerate() {
-            let heir = survivors[k % survivors.len()];
+            let heir = survivors[(k + offset) % survivors.len()];
             if let Some(sub) = self.partition.as_subtree_mut() {
                 sub.delegate(root, heir);
             }

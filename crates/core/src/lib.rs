@@ -31,6 +31,7 @@ pub mod client;
 pub mod cluster;
 pub mod config;
 pub mod failover;
+pub mod fault;
 pub mod node;
 pub mod obs;
 pub mod report;
@@ -44,6 +45,7 @@ pub use failover::FAILOVER_TIMEOUT;
 
 pub use cluster::Cluster;
 pub use config::{CostModel, SimConfig};
+pub use fault::{ChurnSpec, DiskScope, FaultEvent, FaultSchedule, NetFaultSpec, RetryPolicy};
 pub use obs::{ClusterObs, ObsExport};
 pub use report::{NodeSnapshot, SimReport};
 pub use request::{Request, SimEvent};

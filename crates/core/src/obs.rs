@@ -82,6 +82,10 @@ struct Handles {
     delegation_merges: CounterId,
     failures: CounterId,
     recoveries: CounterId,
+    retries: CounterId,
+    gave_up: CounterId,
+    net_lost: CounterId,
+    net_dup: CounterId,
     // distributions
     latency_us: HistogramId,
     hops: HistogramId,
@@ -133,6 +137,10 @@ impl ClusterObs {
             delegation_merges: reg.counter("delegation_merges", 1),
             failures: reg.counter("node_failures", 1),
             recoveries: reg.counter("node_recoveries", 1),
+            retries: reg.counter("client_retries", 1),
+            gave_up: reg.counter("ops_gave_up", 1),
+            net_lost: reg.counter("net_messages_lost", 1),
+            net_dup: reg.counter("net_messages_duplicated", 1),
             latency_us: reg.histogram("latency_us", LATENCY_BOUNDS_US),
             hops: reg.histogram("hops", HOPS_BOUNDS),
         };
@@ -354,6 +362,42 @@ impl ClusterObs {
         inner.reg.add(inner.h.delegation_merges, 0, n);
     }
 
+    /// A client re-drove a request after a dead-node timeout or a lost
+    /// message.
+    #[inline]
+    pub fn on_retry(&mut self, now: SimTime, client: u32) {
+        let Some(inner) = &mut self.inner else { return };
+        inner.reg.inc(inner.h.retries, 0);
+        if let Some(spans) = &mut inner.spans {
+            spans.event(client, SpanStage::Retry, now.as_micros(), NO_MDS);
+        }
+    }
+
+    /// A client exhausted its retry budget and abandoned the op: close
+    /// the span with the terminal gave-up stage.
+    #[inline]
+    pub fn on_gave_up(&mut self, now: SimTime, client: u32) {
+        let Some(inner) = &mut self.inner else { return };
+        inner.reg.inc(inner.h.gave_up, 0);
+        if let Some(spans) = &mut inner.spans {
+            spans.finish(client, SpanStage::GaveUp, now.as_micros(), NO_MDS);
+        }
+    }
+
+    /// The network fault window dropped a message.
+    #[inline]
+    pub fn on_net_loss(&mut self) {
+        let Some(inner) = &mut self.inner else { return };
+        inner.reg.inc(inner.h.net_lost, 0);
+    }
+
+    /// The network fault window duplicated a message.
+    #[inline]
+    pub fn on_net_dup(&mut self) {
+        let Some(inner) = &mut self.inner else { return };
+        inner.reg.inc(inner.h.net_dup, 0);
+    }
+
     /// A node died.
     #[inline]
     pub fn on_failure(&mut self) {
@@ -449,6 +493,13 @@ impl ClusterObs {
             reg.counter_total(h.delegation_merges),
             reg.counter_total(h.failures),
             reg.counter_total(h.recoveries),
+        ));
+        out.push_str(&format!(
+            "faults: retries {}, gave up {}, net lost {}, net dup {}\n",
+            reg.counter_total(h.retries),
+            reg.counter_total(h.gave_up),
+            reg.counter_total(h.net_lost),
+            reg.counter_total(h.net_dup),
         ));
         out.push_str(&format!(
             "snapshots: {} rows × {} fields",

@@ -17,6 +17,9 @@ pub struct Request {
     pub issued_at: SimTime,
     /// How many times it has been forwarded within the cluster.
     pub hops: u8,
+    /// How many times the client has re-driven it after a dead-node
+    /// timeout or a lost message (bounded by the retry policy).
+    pub retries: u8,
 }
 
 /// The simulator's event alphabet.
@@ -45,6 +48,23 @@ pub enum SimEvent {
     /// Fault injection: the node comes back and warms its cache from its
     /// journal (§4.6).
     Recover(MdsId),
+    /// Fault injection: install (`Some`) or clear (`None`) a disk
+    /// degradation window on the given scope.
+    SetDiskFault {
+        /// Which devices the window covers.
+        scope: crate::fault::DiskScope,
+        /// The degradation, or `None` to restore nominal service.
+        fault: Option<dynmds_storage::DiskFault>,
+    },
+    /// Fault injection: install (`Some`) or clear (`None`) the network
+    /// fault window on the client↔MDS edges.
+    SetNetFault(Option<crate::fault::NetFaultSpec>),
+    /// A duplicated request delivery: the server burns CPU discarding it
+    /// (the original carries the real work).
+    NetDup {
+        /// Receiving server.
+        mds: MdsId,
+    },
 }
 
 #[cfg(test)]
@@ -60,6 +80,7 @@ mod tests {
             op: Op::Stat(InodeId(9)),
             issued_at: SimTime::from_micros(12),
             hops: 0,
+            retries: 0,
         };
         assert_eq!(r.op.target(), InodeId(9));
         assert_eq!(r.client, ClientId(3));

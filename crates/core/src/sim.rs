@@ -41,8 +41,26 @@ impl Simulation {
         let n_clients = cfg.n_clients;
         let heartbeat = cfg.heartbeat;
         let sample = cfg.sample_every;
+        // Expand the fault schedule before `Cluster::new` consumes `cfg`.
+        let fault_events = cfg.faults.expanded(cfg.n_mds as usize);
         let cluster = Cluster::new(cfg, snapshot, workload);
         let mut engine = Engine::new(cluster);
+        for ev in fault_events {
+            use crate::fault::FaultEvent;
+            let q = engine.queue_mut();
+            match ev {
+                FaultEvent::Crash { at, mds } => q.schedule(at, SimEvent::Fail(mds)),
+                FaultEvent::Recover { at, mds } => q.schedule(at, SimEvent::Recover(mds)),
+                FaultEvent::DiskDegrade { from, until, fault, scope } => {
+                    q.schedule(from, SimEvent::SetDiskFault { scope, fault: Some(fault) });
+                    q.schedule(until, SimEvent::SetDiskFault { scope, fault: None });
+                }
+                FaultEvent::NetFault { from, until, spec } => {
+                    q.schedule(from, SimEvent::SetNetFault(Some(spec)));
+                    q.schedule(until, SimEvent::SetNetFault(None));
+                }
+            }
+        }
         for c in 0..n_clients {
             let offset = if n_clients > 1 {
                 SimDuration::from_micros(spread.as_micros() * c as u64 / n_clients as u64)

@@ -15,6 +15,7 @@
 //! threads ([`parallel`]).
 
 pub mod ablation;
+pub mod availability;
 pub mod flashrun;
 pub mod hitrate;
 pub mod parallel;

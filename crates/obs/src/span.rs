@@ -29,6 +29,11 @@ pub enum SpanStage {
     Forward,
     /// The addressed node was dead; the client re-drove the request.
     DeadTimeout,
+    /// The client re-sent the request after backoff (retry policy).
+    Retry,
+    /// The client exhausted its retry budget and abandoned the op
+    /// (terminal stage).
+    GaveUp,
     /// Target raced with an unlink; cheap error reply.
     Estale,
     /// Prefix traversal (incl. remote prefix fetches) completed.
@@ -52,6 +57,8 @@ impl SpanStage {
             SpanStage::Arrive => "arrive",
             SpanStage::Forward => "forward",
             SpanStage::DeadTimeout => "dead_timeout",
+            SpanStage::Retry => "retry",
+            SpanStage::GaveUp => "gave_up",
             SpanStage::Estale => "estale",
             SpanStage::Traverse => "traverse",
             SpanStage::CacheHit => "cache_hit",

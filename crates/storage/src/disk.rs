@@ -45,6 +45,27 @@ impl DiskParams {
     }
 }
 
+/// A degradation window applied to a device: latency inflation, IOPS
+/// throttling, and a transient-error probability. Errors are retried
+/// internally (one extra transaction) — the caller still gets a
+/// completion time, just a later one, plus an `errors` count in
+/// [`DiskStats`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DiskFault {
+    /// Multiplier on per-access latency (`1.0` = nominal).
+    pub latency_mult: f64,
+    /// Multiplier on transactional throughput (`0.5` = half the IOPS).
+    pub iops_mult: f64,
+    /// Probability that an access fails transiently and is retried.
+    pub error_p: f64,
+}
+
+impl Default for DiskFault {
+    fn default() -> Self {
+        DiskFault { latency_mult: 1.0, iops_mult: 1.0, error_p: 0.0 }
+    }
+}
+
 /// Cumulative access counts for one device.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DiskStats {
@@ -52,6 +73,8 @@ pub struct DiskStats {
     pub reads: u64,
     /// Completed write transactions.
     pub writes: u64,
+    /// Transient I/O errors (each one cost an internal retry).
+    pub errors: u64,
 }
 
 impl DiskStats {
@@ -67,23 +90,77 @@ pub struct DiskModel {
     params: DiskParams,
     next_start: SimTime,
     stats: DiskStats,
+    fault: Option<DiskFault>,
+    /// xorshift64* state for transient-error draws; private to the device
+    /// so fault injection never perturbs any other random stream.
+    fault_state: u64,
 }
 
 impl DiskModel {
     /// Creates a device with the given parameters.
     pub fn new(params: DiskParams) -> Self {
-        DiskModel { params, next_start: SimTime::ZERO, stats: DiskStats::default() }
+        DiskModel {
+            params,
+            next_start: SimTime::ZERO,
+            stats: DiskStats::default(),
+            fault: None,
+            fault_state: 1,
+        }
+    }
+
+    /// Installs (or clears) a degradation window. `seed` reseeds the
+    /// device-private error stream so same seed + same schedule replays
+    /// identically.
+    pub fn set_fault(&mut self, fault: Option<DiskFault>, seed: u64) {
+        if let Some(f) = &fault {
+            assert!(f.latency_mult >= 0.0 && f.iops_mult > 0.0, "bad disk fault multipliers");
+        }
+        self.fault = fault;
+        self.fault_state = seed | 1; // xorshift state must be non-zero
+    }
+
+    /// The active degradation window, if any.
+    pub fn fault(&self) -> Option<DiskFault> {
+        self.fault
+    }
+
+    fn next_unit(&mut self) -> f64 {
+        // xorshift64*: deterministic, allocation-free, good enough for
+        // Bernoulli error draws.
+        let mut x = self.fault_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.fault_state = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Submits one access at `now`; returns its completion time.
     pub fn access(&mut self, now: SimTime, kind: AccessKind) -> SimTime {
-        let start = now.max(self.next_start);
-        self.next_start = start + self.params.service_interval();
+        let (latency, interval) = match &self.fault {
+            Some(f) => (
+                self.params.latency.mul_f64(f.latency_mult),
+                self.params.service_interval().mul_f64(1.0 / f.iops_mult),
+            ),
+            None => (self.params.latency, self.params.service_interval()),
+        };
+        let mut start = now.max(self.next_start);
+        self.next_start = start + interval;
+        if let Some(f) = self.fault {
+            if f.error_p > 0.0 && self.next_unit() < f.error_p {
+                // Transient failure: the retry is a second transaction
+                // queued after the failed one completes.
+                self.stats.errors += 1;
+                let retry = (start + latency).max(self.next_start);
+                self.next_start = retry + interval;
+                start = retry;
+            }
+        }
         match kind {
             AccessKind::Read => self.stats.reads += 1,
             AccessKind::Write => self.stats.writes += 1,
         }
-        start + self.params.latency
+        start + latency
     }
 
     /// Cumulative counters.
@@ -160,6 +237,60 @@ mod tests {
         // 1000 accesses at 200/s take ~5s of device time.
         let secs = last.as_secs_f64();
         assert!((4.9..5.2).contains(&secs), "got {secs}");
+    }
+
+    #[test]
+    fn fault_inflates_latency_and_throttles_iops() {
+        let mut d = disk(8, 100.0);
+        d.set_fault(Some(DiskFault { latency_mult: 2.0, iops_mult: 0.5, error_p: 0.0 }), 7);
+        let c1 = d.access(SimTime::ZERO, AccessKind::Read);
+        let c2 = d.access(SimTime::ZERO, AccessKind::Read);
+        assert_eq!(c1.as_micros(), 16_000, "latency doubled");
+        assert_eq!(c2.as_micros(), 36_000, "starts now 20ms apart");
+        // Clearing the fault restores nominal behaviour.
+        d.set_fault(None, 0);
+        let c3 = d.access(SimTime::from_millis(100), AccessKind::Read);
+        assert_eq!(c3, SimTime::from_millis(108));
+    }
+
+    #[test]
+    fn fault_errors_cost_a_retry_and_are_counted() {
+        let mut d = disk(8, 100.0);
+        d.set_fault(Some(DiskFault { latency_mult: 1.0, iops_mult: 1.0, error_p: 1.0 }), 3);
+        let done = d.access(SimTime::ZERO, AccessKind::Read);
+        // Failed attempt completes at 8ms; retry starts at max(8ms, 10ms
+        // queue point) = 10ms and completes 8ms later.
+        assert_eq!(done.as_micros(), 18_000);
+        assert_eq!(d.stats().errors, 1);
+        assert_eq!(d.stats().reads, 1, "retry is internal, not a second access");
+    }
+
+    #[test]
+    fn fault_draws_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut d = disk(1, 1000.0);
+            d.set_fault(Some(DiskFault { latency_mult: 1.0, iops_mult: 1.0, error_p: 0.3 }), seed);
+            let mut completions = Vec::new();
+            for _ in 0..200 {
+                completions.push(d.access(SimTime::ZERO, AccessKind::Write).as_micros());
+            }
+            (completions, d.stats())
+        };
+        assert_eq!(run(42), run(42), "same seed must replay identically");
+        let (_, s) = run(42);
+        assert!(s.errors > 20 && s.errors < 120, "error_p=0.3 over 200 ops, got {}", s.errors);
+    }
+
+    #[test]
+    fn no_fault_means_no_error_draws() {
+        let mut a = disk(8, 100.0);
+        let mut b = disk(8, 100.0);
+        b.set_fault(Some(DiskFault::default()), 99);
+        for i in 0..50 {
+            let t = SimTime::from_millis(i * 3);
+            assert_eq!(a.access(t, AccessKind::Read), b.access(t, AccessKind::Read));
+        }
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod osd;
 pub mod store;
 
 pub use anchor::AnchorTable;
-pub use disk::{AccessKind, DiskModel, DiskParams, DiskStats};
+pub use disk::{AccessKind, DiskFault, DiskModel, DiskParams, DiskStats};
 pub use journal::BoundedLog;
 pub use osd::OsdPool;
 pub use store::{FetchResult, MetadataStore, StoreLayout};

@@ -10,7 +10,7 @@
 
 use dynmds_event::SimTime;
 
-use crate::disk::{AccessKind, DiskModel, DiskParams, DiskStats};
+use crate::disk::{AccessKind, DiskFault, DiskModel, DiskParams, DiskStats};
 
 /// A collection of identical simulated devices addressed by object key.
 pub struct OsdPool {
@@ -48,12 +48,22 @@ impl OsdPool {
         self.disks[idx].access(now, kind)
     }
 
+    /// Installs (or clears) the same degradation window on every device.
+    /// Each device's error stream is reseeded from `base_seed` and its
+    /// index so the pool replays identically for a given schedule.
+    pub fn set_fault(&mut self, fault: Option<DiskFault>, base_seed: u64) {
+        for (i, d) in self.disks.iter_mut().enumerate() {
+            d.set_fault(fault, base_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+    }
+
     /// Aggregate stats across all devices.
     pub fn total_stats(&self) -> DiskStats {
         let mut total = DiskStats::default();
         for d in &self.disks {
             total.reads += d.stats().reads;
             total.writes += d.stats().writes;
+            total.errors += d.stats().errors;
         }
         total
     }

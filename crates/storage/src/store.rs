@@ -199,6 +199,11 @@ impl MetadataStore {
     pub fn pool(&self) -> &OsdPool {
         &self.pool
     }
+
+    /// Applies (or clears) a degradation window on the whole pool.
+    pub fn set_pool_fault(&mut self, fault: Option<crate::disk::DiskFault>, base_seed: u64) {
+        self.pool.set_fault(fault, base_seed);
+    }
 }
 
 #[cfg(test)]

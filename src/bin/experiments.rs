@@ -8,8 +8,10 @@
 //! figures), `sci` (the §5.2 scientific workload), `ablate-prefetch`
 //! `ablate-balance` `ablate-dirhash` `ablate-warming` `ablate-leases`
 //! `ablate-shared-writes` `ablate-probation` (design-choice ablations),
-//! `all`, or `bench` (time every `--quick` stage and write
-//! `BENCH_sim.json` — see [`run_bench`]).
+//! `availability` (every strategy under node churn; `--faults SPEC`
+//! overrides the default schedule — same grammar as `simulate`), `all`,
+//! or `bench` (time every `--quick` stage and write `BENCH_sim.json` —
+//! see [`run_bench`]; bench stays fault-free).
 //!
 //! Each subcommand prints the figure's data as an aligned table; `--csv`
 //! additionally writes machine-readable CSVs.
@@ -25,7 +27,9 @@
 use std::io::Write as _;
 
 use dynmds_event::SimDuration;
-use dynmds_harness::{ablation, flashrun, hitrate, scaling, scirun, shiftrun, ExperimentScale};
+use dynmds_harness::{
+    ablation, availability, flashrun, hitrate, scaling, scirun, shiftrun, ExperimentScale,
+};
 use dynmds_metrics::Table;
 use dynmds_obs::ObsConfig;
 
@@ -34,6 +38,7 @@ struct Args {
     csv_dir: Option<String>,
     command: String,
     obs: ObsConfig,
+    faults: Option<dynmds_core::FaultSchedule>,
 }
 
 fn parse_args() -> Args {
@@ -41,11 +46,19 @@ fn parse_args() -> Args {
     let mut csv_dir = None;
     let mut command = None;
     let mut obs = ObsConfig::default();
+    let mut faults = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => scale = ExperimentScale::Quick,
             "--csv" => csv_dir = Some(it.next().unwrap_or_else(|| usage("missing --csv DIR"))),
+            "--faults" => {
+                let spec = it.next().unwrap_or_else(|| usage("missing --faults SPEC"));
+                faults = Some(
+                    dynmds_core::FaultSchedule::parse(&spec)
+                        .unwrap_or_else(|e| usage(&format!("bad --faults spec: {e}"))),
+                );
+            }
             "--obs" => obs.metrics = true,
             "--obs-trace" => {
                 obs.metrics = true;
@@ -58,7 +71,7 @@ fn parse_args() -> Args {
             other => usage(&format!("unknown argument: {other}")),
         }
     }
-    Args { scale, csv_dir, command: command.unwrap_or_else(|| "all".to_string()), obs }
+    Args { scale, csv_dir, command: command.unwrap_or_else(|| "all".to_string()), obs, faults }
 }
 
 fn usage(err: &str) -> ! {
@@ -66,8 +79,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: experiments [--quick] [--csv DIR] [--obs|--obs-trace] \
-         <fig2|fig3|fig4|fig5|fig6|fig7|sci|ablate-prefetch|ablate-balance|ablate-dirhash|ablate-warming|ablate-leases|ablate-shared-writes|ablate-probation|all|bench|obs>"
+        "usage: experiments [--quick] [--csv DIR] [--obs|--obs-trace] [--faults SPEC] \
+         <fig2|fig3|fig4|fig5|fig6|fig7|sci|ablate-prefetch|ablate-balance|ablate-dirhash|ablate-warming|ablate-leases|ablate-shared-writes|ablate-probation|availability|all|bench|obs>"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -367,6 +380,13 @@ fn main() {
                 &pts,
             ),
         );
+    }
+
+    if want("availability") {
+        eprintln!("running availability-under-churn experiment...");
+        let schedule = args.faults.clone().unwrap_or_else(|| availability::default_schedule(scale));
+        let pts = availability::run_availability(scale, &schedule);
+        emit(&args, "availability", &availability::availability_table(&pts));
     }
 
     // `obs` alone (or any figure combined with --obs/--obs-trace) ends

@@ -20,6 +20,11 @@
 //!   --dir-hash N        hash directories beyond N entries
 //!   --fail MDS@SECS     kill a node mid-run (repeatable)
 //!   --recover MDS@SECS  bring a node back (repeatable)
+//!   --faults SPEC       deterministic fault schedule, `;`-separated:
+//!                       crash:MDS@T  recover:MDS@T
+//!                       churn:mtbf=10s,mttr=2s,seed=9,until=30s[,nodes=A-B]
+//!                       disk:lat=4x,iops=0.5x,err=0.01[,scope=osd|journal|all]@FROM..UNTIL
+//!                       net:loss=0.02,dup=0.01@FROM..UNTIL
 //!   --obs               enable the metrics registry + snapshots
 //!   --obs-trace         additionally record per-op lifecycle spans
 //!   --obs-out DIR       where the obs JSONL exports go             (.)
@@ -55,6 +60,7 @@ struct Args {
     no_traffic_control: bool,
     dir_hash: usize,
     faults: Vec<(u16, u64, bool)>, // (mds, secs, is_recovery)
+    fault_spec: Option<String>,
     obs: dynmds_obs::ObsConfig,
     obs_out: String,
 }
@@ -94,6 +100,7 @@ fn parse_args() -> Args {
         no_traffic_control: false,
         dir_hash: 0,
         faults: Vec::new(),
+        fault_spec: None,
         obs: dynmds_obs::ObsConfig::default(),
         obs_out: ".".into(),
     };
@@ -147,6 +154,7 @@ fn parse_args() -> Args {
                 let (m, s) = parse_fault(&next(&mut it, &f));
                 a.faults.push((m, s, true));
             }
+            "--faults" => a.fault_spec = Some(next(&mut it, &f)),
             "--obs" => a.obs.metrics = true,
             "--obs-trace" => {
                 a.obs.metrics = true;
@@ -179,6 +187,10 @@ fn main() {
         cfg.traffic_control = false;
     }
     cfg.obs = a.obs;
+    if let Some(spec) = &a.fault_spec {
+        cfg.faults = dynmds_core::FaultSchedule::parse(spec)
+            .unwrap_or_else(|e| usage(&format!("bad --faults spec: {e}")));
+    }
 
     let snapshot =
         NamespaceSpec::with_target_items(a.n_clients as usize, a.items, a.seed ^ 0xF5).generate();
@@ -230,6 +242,8 @@ fn main() {
     let lease_hits = sim.cluster().clients.lease_hits();
     let absorbed = sim.cluster().shared_write_absorbed;
     let timeouts = sim.cluster().failover_timeouts;
+    let (retries, gave_up) = (sim.cluster().retries_total, sim.cluster().gave_up);
+    let (net_lost, net_dup) = (sim.cluster().net_lost, sim.cluster().net_dup);
     let report = sim.finish();
 
     println!("== results over {:.0} measured seconds ==", report.span_secs());
@@ -257,6 +271,12 @@ fn main() {
     }
     if timeouts > 0 {
         println!("failover timeouts  : {timeouts}");
+    }
+    if retries > 0 || gave_up > 0 {
+        println!("client retries     : {retries} ({gave_up} gave up)");
+    }
+    if net_lost > 0 || net_dup > 0 {
+        println!("network faults     : {net_lost} lost, {net_dup} duplicated");
     }
 
     println!("\nlatency distribution:");

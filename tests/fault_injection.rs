@@ -1,0 +1,162 @@
+//! Integration tests for the deterministic fault-injection subsystem:
+//! scripted and generated churn, heir rotation on failover, the client
+//! retry policy, and bit-for-bit reproducibility under faults.
+
+use dynmds::core::{ChurnSpec, FaultEvent, FaultSchedule, SimConfig, Simulation};
+use dynmds::event::{SimDuration, SimTime};
+use dynmds::harness::availability::{availability_table, default_schedule, run_availability};
+use dynmds::harness::ExperimentScale;
+use dynmds::namespace::{MdsId, NamespaceSpec};
+use dynmds::partition::StrategyKind;
+use dynmds::workload::{GeneralWorkload, WorkloadConfig};
+
+fn config(strategy: StrategyKind) -> SimConfig {
+    let mut cfg = SimConfig::small(strategy);
+    cfg.n_mds = 4;
+    cfg.n_clients = 32;
+    cfg.seed = 55;
+    cfg
+}
+
+fn sim_with(cfg: SimConfig) -> Simulation {
+    let snap = NamespaceSpec::with_target_items(32, 8_000, 5).generate();
+    let wl = Box::new(GeneralWorkload::new(
+        WorkloadConfig { seed: 56, ..Default::default() },
+        32,
+        &snap.user_homes,
+        &snap.shared_roots,
+        &snap.ns,
+    ));
+    Simulation::new(cfg, snap, wl)
+}
+
+fn churn_schedule() -> FaultSchedule {
+    FaultSchedule {
+        events: Vec::new(),
+        churn: Some(ChurnSpec {
+            mtbf: SimDuration::from_secs(4),
+            mttr: SimDuration::from_secs(1),
+            seed: 9,
+            until: SimTime::from_secs(12),
+            nodes: Some((1, 3)),
+        }),
+    }
+}
+
+#[test]
+fn heir_rotation_spreads_inherited_subtrees() {
+    // Regression: the round-robin heir pick used to restart at the first
+    // survivor on every failure. The start is now rotated by the failure
+    // count, so each root k of the f-th failure lands on
+    // survivors[(k + f) % |survivors|] — verifiable from the outside.
+    let mut s = sim_with(config(StrategyKind::DynamicSubtree));
+    s.run_until(SimTime::from_secs(2));
+    for victim in [MdsId(1), MdsId(2)] {
+        let owned = s.cluster().partition.as_subtree().unwrap().delegations_of(victim);
+        assert!(!owned.is_empty(), "{victim:?} must own subtrees before failing");
+        s.cluster_mut().fail_node(SimTime::from_secs(2), victim);
+        let c = s.cluster();
+        let survivors: Vec<MdsId> = (0..4).map(MdsId).filter(|&m| c.is_alive_node(m)).collect();
+        let offset = c.failures as usize;
+        let sub = c.partition.as_subtree().unwrap();
+        for (k, root) in owned.iter().enumerate() {
+            let expected = survivors[(k + offset) % survivors.len()];
+            assert_eq!(
+                sub.delegation_of(*root),
+                Some(expected),
+                "failure #{offset}: root {k} must land on the rotated heir"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_strategy_survives_generated_churn() {
+    for strategy in StrategyKind::ALL {
+        let mut cfg = config(strategy);
+        cfg.faults = churn_schedule();
+        let n_clients = cfg.n_clients as u64;
+        let mut s = sim_with(cfg);
+        s.run_until(SimTime::from_secs(16));
+        let c = s.cluster();
+        assert!(c.failures > 0, "{strategy}: churn must actually kill nodes");
+        // Every op terminates: at most one request per client is in flight
+        // (the rest completed, were forwarded to completion, or gave up).
+        let in_flight = c.ops_issued - c.ops_completed;
+        assert!(
+            in_flight <= n_clients,
+            "{strategy}: {in_flight} ops unaccounted for (issued {}, completed {})",
+            c.ops_issued,
+            c.ops_completed
+        );
+        assert!(c.ops_completed > 1_000, "{strategy}: cluster must keep serving under churn");
+        // Imported-delegation bookkeeping stays consistent.
+        for m in (0..4).map(MdsId) {
+            let imported = c.imported_of(m);
+            let mut seen = std::collections::HashSet::new();
+            for &root in imported {
+                assert!(seen.insert(root), "{strategy}: duplicate import {root} on {m:?}");
+            }
+            if !c.is_alive_node(m) {
+                assert!(imported.is_empty(), "{strategy}: dead {m:?} still lists imports");
+            }
+            if let Some(sub) = c.partition.as_subtree() {
+                for &root in imported {
+                    assert_eq!(
+                        sub.delegation_of(root),
+                        Some(m),
+                        "{strategy}: import list and delegation table disagree on {root}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn same_seed_churn_runs_are_bit_identical() {
+    let run = || {
+        let mut cfg = config(StrategyKind::DynamicSubtree);
+        cfg.faults = churn_schedule();
+        cfg.obs.metrics = true;
+        cfg.obs.trace = true;
+        sim_with(cfg).run_measured(SimDuration::from_secs(3), SimDuration::from_secs(9))
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.total_served(), b.total_served());
+    let (oa, ob) = (a.obs.expect("obs export"), b.obs.expect("obs export"));
+    assert_eq!(oa.metrics_jsonl, ob.metrics_jsonl, "metrics export must be byte-identical");
+    assert_eq!(oa.snapshots_jsonl, ob.snapshots_jsonl, "snapshot export must be byte-identical");
+    assert_eq!(oa.trace_jsonl, ob.trace_jsonl, "span export must be byte-identical");
+}
+
+#[test]
+fn scripted_crashes_fire_from_the_schedule() {
+    let mut cfg = config(StrategyKind::FileHash);
+    cfg.faults = FaultSchedule {
+        events: vec![
+            FaultEvent::Crash { at: SimTime::from_secs(2), mds: MdsId(1) },
+            FaultEvent::Recover { at: SimTime::from_secs(4), mds: MdsId(1) },
+        ],
+        churn: None,
+    };
+    let mut s = sim_with(cfg);
+    s.run_until(SimTime::from_secs(3));
+    assert!(!s.cluster().is_alive_node(MdsId(1)), "crash event must have fired");
+    s.run_until(SimTime::from_secs(5));
+    let c = s.cluster();
+    assert!(c.is_alive_node(MdsId(1)), "recover event must have fired");
+    assert_eq!((c.failures, c.recoveries), (1, 1));
+    assert!(c.failover_timeouts > 0, "clients routed to the dead node must time out");
+    assert!(c.retries_total > 0, "timeouts re-drive through the retry policy");
+}
+
+#[test]
+fn availability_experiment_is_deterministic() {
+    let schedule = default_schedule(ExperimentScale::Quick);
+    let csv = |pts: Vec<_>| availability_table(&pts).to_csv();
+    let a = csv(run_availability(ExperimentScale::Quick, &schedule));
+    let b = csv(run_availability(ExperimentScale::Quick, &schedule));
+    assert_eq!(a, b, "availability CSV must be byte-identical across runs");
+    assert!(a.lines().count() > StrategyKind::ALL.len(), "one row per strategy plus header");
+}
