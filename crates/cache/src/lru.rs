@@ -180,6 +180,14 @@ impl MetaCache {
         self.node(id).map(|n| n.is_prefix)
     }
 
+    /// The tree-link parent recorded for `id` at insert time: `None` if
+    /// `id` is not cached, `Some(None)` for a cached root, `Some(Some(p))`
+    /// for a cached entry pinned under `p`. Invariant-checking hook: the
+    /// link target of any cached entry must itself be cached.
+    pub fn parent_of(&self, id: InodeId) -> Option<Option<InodeId>> {
+        self.node(id).map(|n| n.parent)
+    }
+
     /// Count of prefix-only entries — the Figure 3 numerator.
     pub fn prefix_count(&self) -> usize {
         self.slots.iter().flatten().filter(|n| n.is_prefix).count()

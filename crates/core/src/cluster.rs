@@ -145,6 +145,12 @@ pub struct Cluster {
     /// Metrics registry + op-trace spans + snapshots; inert (one branch
     /// per hook) unless enabled through [`SimConfig::obs`].
     pub obs: ClusterObs,
+    /// DST probe (applied-op log + protocol invariants); absent unless a
+    /// simulation-testing harness calls [`enable_dst_probe`]. Costs one
+    /// untaken branch per hook when off, like `obs`.
+    ///
+    /// [`enable_dst_probe`]: Cluster::enable_dst_probe
+    pub probe: Option<Box<crate::check::DstProbe>>,
 
     // --- metrics --------------------------------------------------------
     pub(crate) measure_start: SimTime,
@@ -230,6 +236,7 @@ impl Cluster {
             shared_write_absorbed: 0,
             shared_write_flushes: 0,
             obs: ClusterObs::new(cfg.obs, n, cfg.n_clients as usize),
+            probe: None,
             measure_start: SimTime::ZERO,
             served_series: vec![TimeSeries::new(); n],
             forwarded_series: vec![TimeSeries::new(); n],
@@ -237,6 +244,14 @@ impl Cluster {
             latency: Summary::new(),
             cfg,
         }
+    }
+
+    /// Attaches a fresh [`DstProbe`](crate::check::DstProbe) so a DST
+    /// harness can drain the applied-op log and protocol-invariant
+    /// violations. Purely observational: enabling it never changes the
+    /// simulation's behaviour or its RNG draws.
+    pub fn enable_dst_probe(&mut self) {
+        self.probe = Some(Box::new(crate::check::DstProbe::new(self.cfg.n_clients as usize)));
     }
 
     /// The authoritative MDS for `id`, honouring dynamic directory
@@ -284,6 +299,14 @@ impl Cluster {
     /// The served-ops time series of one node (inspection hook).
     pub fn report_served_series(&self, node: usize) -> Option<&TimeSeries> {
         self.served_series.get(node)
+    }
+
+    /// Ids replicated cluster-wide by traffic control (§4.4), sorted.
+    /// Inspection hook.
+    pub fn replicated_ids(&self) -> Vec<InodeId> {
+        let mut v: Vec<InodeId> = self.replicated.iter().copied().collect();
+        v.sort();
+        v
     }
 
     /// Restarts measurement: clears series, latency, cache statistics and
@@ -344,6 +367,9 @@ impl Cluster {
         let target = op.target();
         self.ops_issued += 1;
         self.obs.on_issue(now, client.0, crate::obs::op_kind_tag(op.kind()));
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.on_issue(client);
+        }
         // §4.2 client leases: attribute reads under a live lease never
         // leave the client.
         if self.cfg.client_leases
@@ -423,6 +449,9 @@ impl Cluster {
             // recorded (the op never completed) and the client moves on.
             self.gave_up += 1;
             self.obs.on_gave_up(detect_at, req.client.0);
+            if let Some(p) = self.probe.as_deref_mut() {
+                p.on_gave_up(detect_at, req.client, req.retries, self.cfg.retry.max_retries);
+            }
             queue.schedule(detect_at, SimEvent::Reply { client: req.client });
             return;
         }
@@ -440,6 +469,9 @@ impl Cluster {
         req: Request,
         queue: &mut EventQueue<SimEvent>,
     ) {
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.on_arrive(now, req.client, req.hops, req.retries);
+        }
         // A dead host never answers: the request times out client-side
         // and is re-driven at the live authority through the retry
         // policy. Hops are preserved — a request that keeps landing on
@@ -478,6 +510,9 @@ impl Cluster {
             self.nodes[i].win.forwarded += 1;
             self.nodes[i].life.forwarded += 1;
             self.obs.on_forward(now, req.client.0, mds);
+            if let Some(p) = self.probe.as_deref_mut() {
+                p.on_forward(now, req.client);
+            }
             let done = self.nodes[i].occupy(now, self.cfg.costs.cpu_forward);
             let mut fwd = req;
             fwd.hops += 1;
@@ -779,6 +814,10 @@ impl Cluster {
     fn apply_update(&mut self, now: SimTime, mds: MdsId, req: &Request) -> SimTime {
         let i = mds.index();
         let mut touched: Vec<InodeId> = Vec::with_capacity(2);
+        // DST bookkeeping (inert without a probe): the primary inode the
+        // mutation touched, and whether it was replica-absorbed.
+        let mut primary: Option<InodeId> = None;
+        let mut shared_absorbed = false;
 
         match &req.op {
             Op::Close(f) | Op::SetAttr(f) => {
@@ -795,12 +834,15 @@ impl Cluster {
                     self.shared_write_absorbed += 1;
                     self.obs.on_shared_absorb(mds);
                     touched.push(*f);
+                    primary = Some(*f);
+                    shared_absorbed = true;
                 } else if let Ok(ino) = self.ns.inode_mut(*f) {
                     ino.mtime_us = now.as_micros();
                     if matches!(req.op, Op::Close(_)) {
                         ino.size = ino.size.saturating_add(4096);
                     }
                     touched.push(*f);
+                    primary = Some(*f);
                 }
             }
             Op::Create { dir, name } => {
@@ -810,6 +852,7 @@ impl Cluster {
                     self.nodes[i].cache.insert(id, parent, InsertKind::Target);
                     touched.push(id);
                     touched.push(*dir);
+                    primary = Some(id);
                 }
             }
             Op::Mkdir { dir, name } => {
@@ -819,10 +862,12 @@ impl Cluster {
                     self.nodes[i].cache.insert(id, parent, InsertKind::Target);
                     touched.push(id);
                     touched.push(*dir);
+                    primary = Some(id);
                 }
             }
             Op::Unlink { dir, name } => {
                 if let Ok(id) = self.ns.unlink(*dir, name) {
+                    primary = Some(id);
                     if self.ns.is_alive(id) {
                         // A hard link was dropped; if only one link
                         // remains the inode no longer needs anchoring.
@@ -830,6 +875,12 @@ impl Cluster {
                             && self.anchors.contains(id)
                         {
                             self.anchors.unanchor(id);
+                        } else if self.anchors.contains(id) {
+                            // The removed dentry may have been the primary:
+                            // the namespace promotes a surviving link, so
+                            // the inode's parent can change and the anchor
+                            // chain must be retargeted (no-op otherwise).
+                            self.anchors.on_rename(&self.ns, id);
                         }
                     } else {
                         if self.anchors.contains(id) {
@@ -852,6 +903,7 @@ impl Cluster {
                 }
                 touched.push(*target);
                 touched.push(*dir);
+                primary = Some(*target);
             }
             Op::Rename { dir, name, new_name } => {
                 if let Ok(id) = self.ns.rename(*dir, name, *dir, new_name) {
@@ -864,6 +916,7 @@ impl Cluster {
                     }
                     touched.push(*dir);
                     touched.push(id);
+                    primary = Some(id);
                 }
             }
             Op::Chmod { target, mode } if self.ns.chmod(*target, *mode).is_ok() => {
@@ -874,10 +927,23 @@ impl Cluster {
                     self.invalidate_replicas(*target);
                 }
                 touched.push(*target);
+                primary = Some(*target);
             }
             _ => {}
         }
 
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.on_applied(
+                now,
+                mds,
+                req.client,
+                req.uid,
+                &req.op,
+                !touched.is_empty(),
+                primary,
+                shared_absorbed,
+            );
+        }
         if touched.is_empty() {
             return now; // failed op: error reply, nothing committed
         }

@@ -27,6 +27,7 @@
 //! | client ignorance & request forwarding | [`client`], [`cluster`] |
 
 pub mod balance;
+pub mod check;
 pub mod client;
 pub mod cluster;
 pub mod config;
@@ -43,6 +44,7 @@ pub mod traffic;
 
 pub use failover::FAILOVER_TIMEOUT;
 
+pub use check::{AppliedOp, DstProbe};
 pub use cluster::Cluster;
 pub use config::{CostModel, SimConfig};
 pub use fault::{ChurnSpec, DiskScope, FaultEvent, FaultSchedule, NetFaultSpec, RetryPolicy};

@@ -1,0 +1,216 @@
+//! The `experiments torture` subcommand: run seeded fuzz scenarios
+//! against the oracle, shrink any divergence, and write repro files.
+//!
+//! ```text
+//! experiments torture [--seeds N] [--seed-base B] [--ops K]
+//!                     [--strategy NAME|all] [--out DIR]
+//!                     [--shrink-budget P] [--no-repeat-check]
+//! ```
+//!
+//! Output is derived entirely from simulation results (no wall-clock, no
+//! paths that vary run-to-run), so two invocations with the same flags
+//! print byte-identical reports — CI runs the command twice and `cmp`s.
+//! Exit code 0 = every scenario clean (and the repeated seed's digest
+//! stable); 1 = divergence or digest instability; 2 = usage error.
+
+use std::io::Write as _;
+
+use dynmds_harness::parallel::parallel_map;
+use dynmds_partition::StrategyKind;
+
+use crate::repro::Repro;
+use crate::scenario::{run_scenario, Scenario};
+use crate::shrink::shrink;
+
+struct TortureArgs {
+    seeds: u64,
+    seed_base: u64,
+    ops: u64,
+    out_dir: String,
+    strategies: Vec<StrategyKind>,
+    shrink_budget: u64,
+    repeat_check: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<TortureArgs, String> {
+    let mut out = TortureArgs {
+        seeds: 200,
+        seed_base: 1,
+        ops: 2_000,
+        out_dir: "dst/repros".to_string(),
+        strategies: StrategyKind::ALL.to_vec(),
+        shrink_budget: 250,
+        repeat_check: true,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |what: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--seeds" => {
+                out.seeds = val("--seeds")?.parse().map_err(|e| format!("--seeds: {e}"))?
+            }
+            "--seed-base" => {
+                out.seed_base =
+                    val("--seed-base")?.parse().map_err(|e| format!("--seed-base: {e}"))?
+            }
+            "--ops" => out.ops = val("--ops")?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--out" => out.out_dir = val("--out")?.clone(),
+            "--shrink-budget" => {
+                out.shrink_budget =
+                    val("--shrink-budget")?.parse().map_err(|e| format!("--shrink-budget: {e}"))?
+            }
+            "--no-repeat-check" => out.repeat_check = false,
+            "--strategy" => {
+                let v = val("--strategy")?;
+                if v != "all" {
+                    let s = StrategyKind::ALL
+                        .into_iter()
+                        .find(|s| s.label().eq_ignore_ascii_case(v))
+                        .ok_or_else(|| format!("unknown strategy `{v}`"))?;
+                    out.strategies = vec![s];
+                }
+            }
+            other => return Err(format!("unknown torture flag `{other}`")),
+        }
+    }
+    if out.seeds == 0 {
+        return Err("--seeds must be positive".into());
+    }
+    Ok(out)
+}
+
+struct ScenarioResult {
+    strategy: StrategyKind,
+    seed: u64,
+    digest: u64,
+    ops_completed: u64,
+    checkpoints: u64,
+    /// `Some` when the run diverged: the finished repro text plus a
+    /// summary of the shrink.
+    failure: Option<Failure>,
+}
+
+struct Failure {
+    first_divergence: String,
+    repro_text: String,
+    ops_after: usize,
+    probes: u64,
+}
+
+fn run_one(sc: &Scenario, shrink_budget: u64) -> ScenarioResult {
+    let out = run_scenario(sc, true);
+    let failure = (!out.divergences.is_empty()).then(|| {
+        let (min_sc, min_trace, stats) = shrink(sc, &out.trace, &out.uids, shrink_budget);
+        let note = out.divergences.join("\n");
+        let repro = Repro { scenario: min_sc, trace: min_trace, uids: out.uids.clone(), note };
+        Failure {
+            first_divergence: out.divergences[0].clone(),
+            repro_text: repro.to_text(),
+            ops_after: stats.ops_after,
+            probes: stats.probes,
+        }
+    });
+    ScenarioResult {
+        strategy: sc.strategy,
+        seed: sc.seed,
+        digest: out.digest,
+        ops_completed: out.ops_completed,
+        checkpoints: out.checkpoints,
+        failure,
+    }
+}
+
+/// Entry point for `experiments torture`. Returns the process exit code.
+pub fn run_torture(args: &[String]) -> i32 {
+    let args = match parse_args(args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("torture: {e}");
+            return 2;
+        }
+    };
+
+    let scenarios: Vec<Scenario> = (0..args.seeds)
+        .flat_map(|i| {
+            let seed = args.seed_base + i;
+            args.strategies.iter().map(move |&s| Scenario::from_seed(seed, s, args.ops))
+        })
+        .collect();
+
+    println!(
+        "torture: {} scenarios ({} seeds x {} strategies), target {} ops each",
+        scenarios.len(),
+        args.seeds,
+        args.strategies.len(),
+        args.ops
+    );
+
+    let results = parallel_map(&scenarios, |sc| run_one(sc, args.shrink_budget));
+
+    let mut failures = 0u64;
+    for s in &args.strategies {
+        let (mut runs, mut ops, mut cps, mut diverged) = (0u64, 0u64, 0u64, 0u64);
+        let mut digest = 0u64;
+        for r in results.iter().filter(|r| r.strategy == *s) {
+            runs += 1;
+            ops += r.ops_completed;
+            cps += r.checkpoints;
+            diverged += u64::from(r.failure.is_some());
+            digest = digest.wrapping_mul(0x100_0000_01b3) ^ r.digest;
+        }
+        println!(
+            "  {:>14}: {runs} runs, {ops} ops, {cps} checkpoints, {diverged} divergences, digest {digest:#018x}",
+            s.label()
+        );
+        failures += diverged;
+    }
+
+    for r in results.iter().filter(|r| r.failure.is_some()) {
+        let f = r.failure.as_ref().unwrap();
+        let path = format!("{}/repro_{}_{}.txt", args.out_dir, r.strategy.label(), r.seed);
+        println!(
+            "DIVERGENCE seed={} strategy={}: {}",
+            r.seed,
+            r.strategy.label(),
+            f.first_divergence
+        );
+        println!("  shrunk to {} ops in {} replays -> {path}", f.ops_after, f.probes);
+        if let Err(e) = std::fs::create_dir_all(&args.out_dir).and_then(|()| {
+            std::fs::File::create(&path).and_then(|mut fh| fh.write_all(f.repro_text.as_bytes()))
+        }) {
+            eprintln!("torture: writing {path}: {e}");
+        }
+    }
+
+    let mut unstable = false;
+    if args.repeat_check {
+        // Determinism spot-check: re-run the first scenario end to end and
+        // require a byte-identical digest.
+        let sc = &scenarios[0];
+        let again = run_scenario(sc, false);
+        let first = &results[0];
+        if again.digest == first.digest {
+            println!(
+                "repeat-check: seed {} {} digest {:#018x} stable",
+                sc.seed,
+                sc.strategy.label(),
+                first.digest
+            );
+        } else {
+            println!(
+                "repeat-check FAILED: seed {} {} digest {:#018x} vs {:#018x}",
+                sc.seed,
+                sc.strategy.label(),
+                first.digest,
+                again.digest
+            );
+            unstable = true;
+        }
+    }
+
+    let total_ops: u64 = results.iter().map(|r| r.ops_completed).sum();
+    println!("torture: {} scenarios, {total_ops} ops total, {failures} divergences", results.len());
+    i32::from(failures > 0 || unstable)
+}

@@ -1,0 +1,221 @@
+//! Trace shrinking: delta-debug a diverging run down to a minimal
+//! reproducer.
+//!
+//! The vendored `proptest` stand-in has no shrinking, so this is a
+//! hand-written minimizer over two dimensions:
+//!
+//! 1. **Ops** — find the smallest failing prefix of the recorded trace by
+//!    bisection, then remove interior chunks ddmin-style at shrinking
+//!    granularity (half, quarter, …, single records);
+//! 2. **Fault events** — expand the scenario's schedule (scripted events
+//!    plus churn) into its concrete event list once, then greedily drop
+//!    events that are not needed to reproduce.
+//!
+//! Every candidate is judged by a full deterministic replay
+//! ([`replay_trace`]), so a kept reduction is *known* to still diverge.
+//! The total number of replays is capped: shrinking is a convenience on
+//! the way to a repro file, not an unbounded search.
+
+use dynmds_core::FaultSchedule;
+use dynmds_workload::Trace;
+
+use crate::scenario::{replay_trace, Scenario};
+
+/// What the shrinker did, for the torture report.
+#[derive(Clone, Copy, Debug)]
+pub struct ShrinkStats {
+    /// Replays spent.
+    pub probes: u64,
+    /// Trace records before / after.
+    pub ops_before: usize,
+    /// Trace records after shrinking.
+    pub ops_after: usize,
+    /// Concrete fault events before / after.
+    pub faults_before: usize,
+    /// Fault events after shrinking.
+    pub faults_after: usize,
+}
+
+struct Search {
+    sc: Scenario,
+    uids: Vec<u32>,
+    probes: u64,
+    budget: u64,
+}
+
+impl Search {
+    /// Does this candidate still diverge?
+    fn fails(&mut self, trace: &Trace) -> bool {
+        self.probes += 1;
+        !replay_trace(&self.sc, trace, &self.uids).divergences.is_empty()
+    }
+
+    fn exhausted(&self) -> bool {
+        self.probes >= self.budget
+    }
+}
+
+fn with_records(base: &Trace, records: Vec<dynmds_workload::TraceRecord>) -> Trace {
+    Trace { snapshot_seed: base.snapshot_seed, n_clients: base.n_clients, records }
+}
+
+/// Smallest failing prefix by bisection (assumes monotonicity; verified —
+/// on a non-monotone failure the full trace is kept).
+fn shrink_prefix(search: &mut Search, trace: &Trace) -> Trace {
+    let (mut lo, mut hi) = (0usize, trace.records.len());
+    while lo < hi && !search.exhausted() {
+        let mid = lo + (hi - lo) / 2;
+        let cand = with_records(trace, trace.records[..mid].to_vec());
+        if search.fails(&cand) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let cand = with_records(trace, trace.records[..hi].to_vec());
+    if hi < trace.records.len() && search.fails(&cand) {
+        cand
+    } else {
+        trace.clone()
+    }
+}
+
+/// Drop every record of one client at a time. Replay keeps exhausted
+/// clients issuing fallback stats at their own cadence, so removing a
+/// whole client's records barely perturbs the other clients' timing —
+/// these coarse drops succeed far more often than interior chunk removal
+/// and cheaply eliminate most of the trace when only one or two clients
+/// matter for the divergence.
+fn shrink_clients(search: &mut Search, mut trace: Trace) -> Trace {
+    loop {
+        let mut progressed = false;
+        for client in 0..trace.n_clients {
+            if search.exhausted() {
+                return trace;
+            }
+            if !trace.records.iter().any(|r| r.client == client) {
+                continue;
+            }
+            let records: Vec<_> =
+                trace.records.iter().filter(|r| r.client != client).cloned().collect();
+            let cand = with_records(&trace, records);
+            if search.fails(&cand) {
+                trace = cand;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return trace;
+        }
+    }
+}
+
+/// Remove interior chunks, halving the granularity until single records.
+fn shrink_chunks(search: &mut Search, mut trace: Trace) -> Trace {
+    let mut gran = (trace.records.len() / 2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < trace.records.len() && !search.exhausted() {
+            let end = (i + gran).min(trace.records.len());
+            let mut records = trace.records.clone();
+            records.drain(i..end);
+            let cand = with_records(&trace, records);
+            if search.fails(&cand) {
+                trace = cand;
+                progressed = true;
+                // Same index now holds the next chunk.
+            } else {
+                i = end;
+            }
+        }
+        if gran == 1 && !progressed {
+            return trace;
+        }
+        if search.exhausted() {
+            return trace;
+        }
+        if !progressed {
+            gran = (gran / 2).max(1);
+        }
+    }
+}
+
+/// Greedily drop concrete fault events that the divergence does not need.
+fn shrink_faults(search: &mut Search, trace: &Trace) -> FaultSchedule {
+    loop {
+        let events = search.sc.faults.events.clone();
+        let mut progressed = false;
+        for i in 0..events.len() {
+            if search.exhausted() {
+                break;
+            }
+            let mut cand = events.clone();
+            cand.remove(i);
+            let saved = std::mem::replace(
+                &mut search.sc.faults,
+                FaultSchedule { events: cand, churn: None },
+            );
+            if search.fails(trace) {
+                progressed = true;
+                break; // indices shifted; restart the scan
+            }
+            search.sc.faults = saved;
+        }
+        if !progressed {
+            return search.sc.faults.clone();
+        }
+    }
+}
+
+/// Minimizes a diverging `(scenario, trace)` pair. Returns the shrunk
+/// scenario (fault schedule reduced to an explicit event list), the
+/// shrunk trace, and search statistics. `budget` caps the number of
+/// replays spent.
+///
+/// The first step materializes the schedule's churn into concrete events
+/// — `FaultSchedule::expanded` is deterministic, so the explicit list
+/// replays identically and the repro file needs no churn generator.
+pub fn shrink(
+    sc: &Scenario,
+    trace: &Trace,
+    uids: &[u32],
+    budget: u64,
+) -> (Scenario, Trace, ShrinkStats) {
+    let mut flat = sc.clone();
+    flat.faults = FaultSchedule { events: sc.faults.expanded(sc.n_mds as usize), churn: None };
+    let faults_before = flat.faults.events.len();
+    let ops_before = trace.records.len();
+
+    let mut search = Search { sc: flat, uids: uids.to_vec(), probes: 0, budget };
+    if !search.fails(trace) {
+        // Flattening churn must not change the run; if the divergence is
+        // gone the caller keeps the original artifacts untouched.
+        let stats = ShrinkStats {
+            probes: search.probes,
+            ops_before,
+            ops_after: ops_before,
+            faults_before,
+            faults_after: faults_before,
+        };
+        return (sc.clone(), trace.clone(), stats);
+    }
+
+    let trace = shrink_prefix(&mut search, trace);
+    let trace = shrink_clients(&mut search, trace);
+    let trace = shrink_chunks(&mut search, trace);
+    let faults = shrink_faults(&mut search, &trace);
+    search.sc.faults = faults;
+    // Fault removal can unlock further op removal (and vice versa); one
+    // more cheap pass at fine granularity usually converges.
+    let trace = shrink_chunks(&mut search, trace);
+
+    let stats = ShrinkStats {
+        probes: search.probes,
+        ops_before,
+        ops_after: trace.records.len(),
+        faults_before,
+        faults_after: search.sc.faults.events.len(),
+    };
+    (search.sc.clone(), trace, stats)
+}

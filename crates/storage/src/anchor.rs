@@ -51,6 +51,23 @@ impl AnchorTable {
         self.entries.contains_key(&id)
     }
 
+    /// Number of anchor chains passing through `id` (`None` if absent).
+    pub fn refs(&self, id: InodeId) -> Option<u32> {
+        self.entries.get(&id).map(|e| e.refs)
+    }
+
+    /// The stored parent pointer of `id`'s entry (`None` if absent;
+    /// `Some(None)` for the root entry).
+    pub fn parent_of(&self, id: InodeId) -> Option<Option<InodeId>> {
+        self.entries.get(&id).map(|e| e.parent)
+    }
+
+    /// Iterates `(id, stored_parent, refs)` over every table entry, in
+    /// arbitrary order. Invariant-checking hook.
+    pub fn iter(&self) -> impl Iterator<Item = (InodeId, Option<InodeId>, u32)> + '_ {
+        self.entries.iter().map(|(&id, e)| (id, e.parent, e.refs))
+    }
+
     /// Anchors `id`: records it and every ancestor so the inode can be
     /// located without a path. Call when a file's link count rises above
     /// one.

@@ -30,7 +30,7 @@ pub use flash::{BurstKind, FlashCrowd, ScientificWorkload, WriteCrowd};
 pub use general::{GeneralWorkload, WorkloadConfig};
 pub use ops::{Op, OpKind, OpMix};
 pub use shift::ShiftingWorkload;
-pub use trace::{Trace, TraceRecorder, TraceReplay};
+pub use trace::{Trace, TraceOp, TraceRecord, TraceRecorder, TraceReplay};
 
 use dynmds_event::SimTime;
 use dynmds_namespace::{ClientId, Namespace};

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-2 test sweep: everything tier-1 runs, plus the long-running fuzz
+# and churn properties gated behind the `slow-tests` feature, plus a full
+# DST torture campaign (hundreds of seeded scenarios per strategy against
+# the reference-model oracle). Expect minutes, not seconds — run before
+# release-sized changes; `scripts/check.sh` stays the fast pre-merge gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1 + gated slow tests (release)"
+cargo test --release --offline --locked --workspace \
+    --features slow-tests -- --include-ignored
+
+echo "==> DST torture: 200 seeds x all strategies"
+cargo build --release --offline --locked
+target/release/experiments torture --seeds 200 --ops 2000
+
+echo "ok: full test sweep passed"

@@ -80,7 +80,11 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: experiments [--quick] [--csv DIR] [--obs|--obs-trace] [--faults SPEC] \
-         <fig2|fig3|fig4|fig5|fig6|fig7|sci|ablate-prefetch|ablate-balance|ablate-dirhash|ablate-warming|ablate-leases|ablate-shared-writes|ablate-probation|availability|all|bench|obs>"
+         <fig2|fig3|fig4|fig5|fig6|fig7|sci|ablate-prefetch|ablate-balance|ablate-dirhash|ablate-warming|ablate-leases|ablate-shared-writes|ablate-probation|availability|all|bench|obs>\n\
+         \n\
+         or:    experiments torture [--seeds N] [--seed-base B] [--ops K] [--strategy NAME|all]\n\
+         \u{20}                     [--out DIR] [--shrink-budget P] [--no-repeat-check]\n\
+         (seeded fuzz scenarios against the DST oracle; repros land in dst/repros/)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -234,6 +238,11 @@ fn run_bench(args: &Args) {
 }
 
 fn main() {
+    // `torture` owns its flag grammar; dispatch before the figure parser.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("torture") {
+        std::process::exit(dynmds_dst::cli::run_torture(&raw[1..]));
+    }
     let args = parse_args();
     if args.command == "bench" {
         run_bench(&args);

@@ -1,0 +1,141 @@
+//! Hard-link / anchor-table coverage: drive a live namespace through
+//! randomized link / unlink / rename sequences, maintaining the anchor
+//! table with the same discipline the cluster uses (anchor on the first
+//! extra link, unanchor when the link count falls back to one or the
+//! inode dies, retarget on moves). After every burst the table must match
+//! a from-scratch reference recomputation exactly — per-entry refcounts,
+//! stored parents, and `resolve` chains.
+
+use dynmds_event::SimRng;
+use dynmds_namespace::{FxHashMap, FxHashSet, InodeId, Namespace, NamespaceSpec, Permissions};
+use dynmds_storage::AnchorTable;
+
+/// From-scratch expectation: every anchored file contributes one ref to
+/// itself and each of its ancestors; stored parents mirror the namespace.
+fn expected_entries(
+    ns: &Namespace,
+    anchored: &FxHashSet<InodeId>,
+) -> FxHashMap<InodeId, (Option<InodeId>, u32)> {
+    let mut want: FxHashMap<InodeId, (Option<InodeId>, u32)> = FxHashMap::default();
+    for &a in anchored {
+        for id in std::iter::once(a).chain(ns.ancestors(a)) {
+            let parent = ns.parent(id).unwrap();
+            let e = want.entry(id).or_insert((parent, 0));
+            e.0 = parent;
+            e.1 += 1;
+        }
+    }
+    want
+}
+
+fn assert_table_matches(ns: &Namespace, anchors: &AnchorTable, anchored: &FxHashSet<InodeId>) {
+    let want = expected_entries(ns, anchored);
+    let got: FxHashMap<InodeId, (Option<InodeId>, u32)> =
+        anchors.iter().map(|(id, parent, refs)| (id, (parent, refs))).collect();
+    assert_eq!(got.len(), want.len(), "anchor table size drifted from reference");
+    for (id, (parent, refs)) in &want {
+        let (got_parent, got_refs) =
+            got.get(id).unwrap_or_else(|| panic!("{id} missing from anchor table"));
+        assert_eq!(got_parent, parent, "stored parent wrong for {id}");
+        assert_eq!(got_refs, refs, "refcount wrong for {id}");
+    }
+    // Resolvability: every anchored file's chain equals its live ancestry.
+    for &a in anchored {
+        let chain = anchors.resolve(a).unwrap_or_else(|| panic!("{a} anchored but unresolvable"));
+        let live: Vec<InodeId> = ns.ancestors(a).collect();
+        assert_eq!(chain, live, "resolve({a}) disagrees with the namespace");
+    }
+}
+
+#[test]
+fn anchor_table_tracks_randomized_link_churn() {
+    let snap =
+        NamespaceSpec { users: 5, mean_dirs_per_user: 5.0, seed: 0xA2C4, ..Default::default() }
+            .generate();
+    let mut ns = snap.ns;
+    let mut anchors = AnchorTable::new();
+    let mut anchored: FxHashSet<InodeId> = FxHashSet::default();
+    let mut rng = SimRng::seed_from_u64(0x11_2233);
+    let (mut links_made, mut promotions) = (0u32, 0u32);
+
+    for step in 0..4_000u64 {
+        let live: Vec<InodeId> = ns.live_ids().collect();
+        let dirs: Vec<InodeId> = live.iter().copied().filter(|&i| ns.is_dir(i)).collect();
+        let files: Vec<InodeId> = live.iter().copied().filter(|&i| !ns.is_dir(i)).collect();
+
+        match rng.below(10) {
+            // Grow the tree so later ops have fresh material.
+            0 => {
+                let dir = *rng.pick(&dirs);
+                let _ = ns.create_file(dir, &format!("f{step}"), Permissions::shared(1));
+            }
+            1 => {
+                let dir = *rng.pick(&dirs);
+                let _ = ns.mkdir(dir, &format!("d{step}"), Permissions::directory(1));
+            }
+            // Hard link: first extra link anchors the target (§4.5).
+            2..=4 => {
+                let target = *rng.pick(&files);
+                let dir = *rng.pick(&dirs);
+                if ns.link(target, dir, &format!("l{step}")).is_ok() {
+                    links_made += 1;
+                    if !anchors.contains(target) {
+                        anchors.anchor(&ns, target);
+                        anchored.insert(target);
+                    }
+                }
+            }
+            // Unlink a random dentry (may be a primary, a secondary link,
+            // or an empty directory).
+            5..=7 => {
+                let dir = *rng.pick(&dirs);
+                let names: Vec<String> =
+                    ns.children(dir).unwrap().map(|(n, _)| n.to_string()).collect();
+                if names.is_empty() {
+                    continue;
+                }
+                let name = rng.pick(&names).clone();
+                if let Ok(id) = ns.unlink(dir, &name) {
+                    if ns.is_alive(id) {
+                        if ns.inode(id).map(|i| i.nlink).unwrap_or(0) <= 1 && anchors.contains(id) {
+                            anchors.unanchor(id);
+                            anchored.remove(&id);
+                        } else if anchors.contains(id) {
+                            // Primary promotion may have moved the inode.
+                            anchors.on_rename(&ns, id);
+                            promotions += 1;
+                        }
+                    } else if anchors.contains(id) {
+                        anchors.unanchor(id);
+                        anchored.remove(&id);
+                    }
+                }
+            }
+            // Rename, including cross-directory moves of whole subtrees;
+            // anchored entries (and chains through moved dirs) retarget.
+            _ => {
+                let old_dir = *rng.pick(&dirs);
+                let names: Vec<String> =
+                    ns.children(old_dir).unwrap().map(|(n, _)| n.to_string()).collect();
+                if names.is_empty() {
+                    continue;
+                }
+                let name = rng.pick(&names).clone();
+                let new_dir = *rng.pick(&dirs);
+                if let Ok(id) = ns.rename(old_dir, &name, new_dir, &format!("r{step}")) {
+                    if anchors.contains(id) {
+                        anchors.on_rename(&ns, id);
+                    }
+                }
+            }
+        }
+
+        if step % 8 == 0 || step == 3_999 {
+            assert_table_matches(&ns, &anchors, &anchored);
+        }
+    }
+
+    assert!(links_made > 100, "churn must actually create hard links (made {links_made})");
+    assert!(promotions > 0, "primary-dentry promotion path never exercised");
+    assert_table_matches(&ns, &anchors, &anchored);
+}

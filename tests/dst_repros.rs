@@ -1,0 +1,44 @@
+//! Replay every shrunken repro trace under `dst/repros/`.
+//!
+//! `experiments torture` writes a repro file there whenever a scenario
+//! diverges from the reference-model oracle. Committing such a file
+//! turns the divergence into a plain failing `#[test]` until the bug is
+//! fixed; once fixed, the repro replays clean and should be deleted.
+//! With no repro files present this test is vacuously green.
+
+use dynmds_dst::Repro;
+
+#[test]
+fn all_committed_repros_replay_clean() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/dst/repros");
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return, // directory absent: nothing to replay
+    };
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "txt"))
+        .collect();
+    paths.sort();
+
+    let mut failed = Vec::new();
+    for path in &paths {
+        let text = std::fs::read_to_string(path).expect("readable repro file");
+        let repro = Repro::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: malformed repro: {e}", path.display()));
+        let out = repro.replay();
+        if !out.divergences.is_empty() {
+            eprintln!("{} still diverges:", path.display());
+            for d in &out.divergences {
+                eprintln!("  {d}");
+            }
+            failed.push(path.display().to_string());
+        } else {
+            eprintln!("{}: replays clean ({} ops)", path.display(), repro.trace.records.len());
+        }
+    }
+    assert!(
+        failed.is_empty(),
+        "repro traces still diverging (fix the bug, then delete the repro): {failed:?}"
+    );
+}

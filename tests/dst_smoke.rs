@@ -1,0 +1,54 @@
+//! Tier-1 smoke coverage for the deterministic-simulation-testing
+//! subsystem: a handful of seeded scenarios per strategy must run clean
+//! against the reference-model oracle, and a repeated seed must produce
+//! a byte-identical digest. The broad sweep (hundreds of seeds) lives
+//! behind the `slow-tests` feature / `--include-ignored`; CI runs the
+//! equivalent via `experiments torture`.
+
+use dynmds_dst::{run_scenario, Scenario};
+use dynmds_partition::StrategyKind;
+
+fn assert_clean(seed: u64, strategy: StrategyKind, ops: u64) -> u64 {
+    let sc = Scenario::from_seed(seed, strategy, ops);
+    let out = run_scenario(&sc, false);
+    assert!(
+        out.divergences.is_empty(),
+        "seed {seed} {strategy}: oracle divergence: {:?}",
+        out.divergences
+    );
+    assert!(out.checkpoints > 0, "seed {seed} {strategy}: oracle never ran");
+    out.digest
+}
+
+#[test]
+fn every_strategy_survives_a_faulty_scenario() {
+    for &strategy in &StrategyKind::ALL {
+        assert_clean(11, strategy, 250);
+        assert_clean(12, strategy, 250);
+    }
+}
+
+#[test]
+fn repeated_seed_is_byte_identical() {
+    let a = assert_clean(7, StrategyKind::LazyHybrid, 250);
+    let b = assert_clean(7, StrategyKind::LazyHybrid, 250);
+    assert_eq!(a, b, "same seed must fold to the same digest");
+}
+
+#[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "broad seed sweep (minutes); run via --features slow-tests or scripts/test_full.sh"
+)]
+fn broad_seed_sweep_is_clean() {
+    let scenarios: Vec<(u64, StrategyKind)> = (1..=40u64)
+        .flat_map(|seed| StrategyKind::ALL.into_iter().map(move |s| (seed, s)))
+        .collect();
+    let results = dynmds_harness::parallel::parallel_map(&scenarios, |&(seed, s)| {
+        let sc = Scenario::from_seed(seed, s, 1_000);
+        let out = run_scenario(&sc, false);
+        (seed, s, out.divergences)
+    });
+    let bad: Vec<_> = results.iter().filter(|(_, _, d)| !d.is_empty()).collect();
+    assert!(bad.is_empty(), "oracle divergences: {bad:?}");
+}
