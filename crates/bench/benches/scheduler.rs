@@ -1,0 +1,103 @@
+//! Scheduler microbenchmark: the timer-wheel [`EventQueue`] against the
+//! reference binary-heap scheduler ([`HeapEventQueue`]) on the mixed
+//! schedule / pop / cancel cycle the simulation hot loop imposes, at
+//! three steady-state populations (1k, 100k, 1M pending events). The
+//! heap's pop cost grows with log(pending); the wheel's stays flat, so
+//! the gap should widen with population.
+//!
+//! Deltas come from a table precomputed outside the timed region so RNG
+//! cost never pollutes the comparison. Every 16th iteration schedules an
+//! extra event and cancels it, exercising the tombstone path both queues
+//! implement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynmds_event::{
+    EventId, EventQueue, HeapEventQueue, ScheduledEvent, SimDuration, SimRng, SimTime,
+};
+
+const DELTA_MASK: usize = 8191;
+
+fn delta_table() -> Vec<u64> {
+    let mut rng = SimRng::seed_from_u64(0xD1CE);
+    (0..=DELTA_MASK).map(|_| 1 + rng.below(1 << 16)).collect()
+}
+
+/// The scheduler surface both queues share, so one driver exercises both.
+trait Sched {
+    fn schedule(&mut self, at: SimTime, v: u64) -> EventId;
+    fn pop(&mut self) -> Option<ScheduledEvent<u64>>;
+    fn cancel(&mut self, id: EventId) -> bool;
+}
+
+impl Sched for EventQueue<u64> {
+    fn schedule(&mut self, at: SimTime, v: u64) -> EventId {
+        EventQueue::schedule(self, at, v)
+    }
+    fn pop(&mut self) -> Option<ScheduledEvent<u64>> {
+        EventQueue::pop(self)
+    }
+    fn cancel(&mut self, id: EventId) -> bool {
+        EventQueue::cancel(self, id)
+    }
+}
+
+impl Sched for HeapEventQueue<u64> {
+    fn schedule(&mut self, at: SimTime, v: u64) -> EventId {
+        HeapEventQueue::schedule(self, at, v)
+    }
+    fn pop(&mut self) -> Option<ScheduledEvent<u64>> {
+        HeapEventQueue::pop(self)
+    }
+    fn cancel(&mut self, id: EventId) -> bool {
+        HeapEventQueue::cancel(self, id)
+    }
+}
+
+fn prefill<Q: Sched>(q: &mut Q, pending: usize, deltas: &[u64]) {
+    for i in 0..pending {
+        q.schedule(SimTime::from_micros(deltas[i & DELTA_MASK] * (i as u64 % 7 + 1)), i as u64);
+    }
+}
+
+/// One mixed step: pop the earliest event and reschedule it one delta
+/// ahead (the steady-state cycle); every 16th step also schedule an
+/// extra event and cancel it.
+fn step<Q: Sched>(q: &mut Q, deltas: &[u64], i: &mut usize) -> SimTime {
+    let ev = q.pop().expect("population is steady, queue never drains");
+    let at = ev.at + SimDuration::from_micros(deltas[*i & DELTA_MASK]);
+    q.schedule(at, ev.event);
+    if *i & 15 == 0 {
+        let id = q.schedule(at + SimDuration::from_micros(1), u64::MAX);
+        assert!(q.cancel(id));
+    }
+    *i += 1;
+    ev.at
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let deltas = delta_table();
+    let mut g = c.benchmark_group("scheduler");
+    for pending in [1_000usize, 100_000, 1_000_000] {
+        let label = match pending {
+            1_000 => "1k",
+            100_000 => "100k",
+            _ => "1m",
+        };
+        g.bench_function(format!("wheel_{label}_pending"), |b| {
+            let mut q: EventQueue<u64> = EventQueue::with_delta_hint(SimDuration::from_millis(1));
+            prefill(&mut q, pending, &deltas);
+            let mut i = 0usize;
+            b.iter(|| step(&mut q, &deltas, &mut i))
+        });
+        g.bench_function(format!("heap_{label}_pending"), |b| {
+            let mut q: HeapEventQueue<u64> = HeapEventQueue::new();
+            prefill(&mut q, pending, &deltas);
+            let mut i = 0usize;
+            b.iter(|| step(&mut q, &deltas, &mut i))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

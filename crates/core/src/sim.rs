@@ -1,6 +1,6 @@
 //! Top-level simulation runner.
 
-use dynmds_event::{Engine, SimDuration, SimTime};
+use dynmds_event::{Engine, EventQueue, SimDuration, SimTime};
 use dynmds_namespace::{ClientId, Snapshot};
 use dynmds_workload::Workload;
 
@@ -41,16 +41,24 @@ impl Simulation {
         let n_clients = cfg.n_clients;
         let heartbeat = cfg.heartbeat;
         let sample = cfg.sample_every;
+        // Inter-event deltas are dominated by client think time; size the
+        // scheduler's timer wheel for it so the near-future page absorbs
+        // the steady-state schedule/pop cycle.
+        let queue = EventQueue::with_delta_hint(cfg.costs.think_mean);
         // Expand the fault schedule before `Cluster::new` consumes `cfg`.
         let fault_events = cfg.faults.expanded(cfg.n_mds as usize);
         let cluster = Cluster::new(cfg, snapshot, workload);
-        let mut engine = Engine::new(cluster);
+        let mut engine = Engine::with_queue(cluster, queue);
         for ev in fault_events {
             use crate::fault::FaultEvent;
             let q = engine.queue_mut();
             match ev {
-                FaultEvent::Crash { at, mds } => q.schedule(at, SimEvent::Fail(mds)),
-                FaultEvent::Recover { at, mds } => q.schedule(at, SimEvent::Recover(mds)),
+                FaultEvent::Crash { at, mds } => {
+                    q.schedule(at, SimEvent::Fail(mds));
+                }
+                FaultEvent::Recover { at, mds } => {
+                    q.schedule(at, SimEvent::Recover(mds));
+                }
                 FaultEvent::DiskDegrade { from, until, fault, scope } => {
                     q.schedule(from, SimEvent::SetDiskFault { scope, fault: Some(fault) });
                     q.schedule(until, SimEvent::SetDiskFault { scope, fault: None });

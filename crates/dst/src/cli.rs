@@ -5,6 +5,7 @@
 //! experiments torture [--seeds N] [--seed-base B] [--ops K]
 //!                     [--strategy NAME|all] [--out DIR]
 //!                     [--shrink-budget P] [--no-repeat-check]
+//!                     [--threads T]
 //! ```
 //!
 //! Output is derived entirely from simulation results (no wall-clock, no
@@ -15,7 +16,7 @@
 
 use std::io::Write as _;
 
-use dynmds_harness::parallel::parallel_map;
+use dynmds_harness::parallel::parallel_map_threads;
 use dynmds_partition::StrategyKind;
 
 use crate::repro::Repro;
@@ -30,6 +31,9 @@ struct TortureArgs {
     strategies: Vec<StrategyKind>,
     shrink_budget: u64,
     repeat_check: bool,
+    /// Worker-thread override; `None` defers to `DYNMDS_THREADS` or
+    /// detected parallelism. Reports are byte-identical either way.
+    threads: Option<usize>,
 }
 
 fn parse_args(args: &[String]) -> Result<TortureArgs, String> {
@@ -41,6 +45,7 @@ fn parse_args(args: &[String]) -> Result<TortureArgs, String> {
         strategies: StrategyKind::ALL.to_vec(),
         shrink_budget: 250,
         repeat_check: true,
+        threads: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -62,6 +67,13 @@ fn parse_args(args: &[String]) -> Result<TortureArgs, String> {
                     val("--shrink-budget")?.parse().map_err(|e| format!("--shrink-budget: {e}"))?
             }
             "--no-repeat-check" => out.repeat_check = false,
+            "--threads" => {
+                let t: usize = val("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+                if t == 0 {
+                    return Err("--threads must be positive".into());
+                }
+                out.threads = Some(t);
+            }
             "--strategy" => {
                 let v = val("--strategy")?;
                 if v != "all" {
@@ -147,7 +159,8 @@ pub fn run_torture(args: &[String]) -> i32 {
         args.ops
     );
 
-    let results = parallel_map(&scenarios, |sc| run_one(sc, args.shrink_budget));
+    let results =
+        parallel_map_threads(&scenarios, args.threads, |sc| run_one(sc, args.shrink_budget));
 
     let mut failures = 0u64;
     for s in &args.strategies {

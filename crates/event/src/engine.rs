@@ -31,7 +31,13 @@ pub struct Engine<E, H: Handler<E>> {
 impl<E, H: Handler<E>> Engine<E, H> {
     /// Creates an engine at time zero with an empty queue.
     pub fn new(handler: H) -> Self {
-        Engine { queue: EventQueue::new(), handler, now: SimTime::ZERO, dispatched: 0 }
+        Self::with_queue(handler, EventQueue::new())
+    }
+
+    /// Creates an engine at time zero over a caller-configured queue,
+    /// e.g. one sized via [`EventQueue::with_delta_hint`].
+    pub fn with_queue(handler: H, queue: EventQueue<E>) -> Self {
+        Engine { queue, handler, now: SimTime::ZERO, dispatched: 0 }
     }
 
     /// Current virtual time (the timestamp of the last dispatched event).
@@ -87,8 +93,7 @@ impl<E, H: Handler<E>> Engine<E, H> {
             if at > horizon {
                 break;
             }
-            self.step();
-            n += 1;
+            n += self.drain_batch(at);
         }
         // The clock advances to the horizon even if the tail was quiet, so
         // rate computations (ops per second over a window) stay well defined.
@@ -101,8 +106,23 @@ impl<E, H: Handler<E>> Engine<E, H> {
     /// the event population terminates.
     pub fn run_to_quiescence(&mut self) -> u64 {
         let mut n = 0;
-        while let StepOutcome::Dispatched(_) = self.step() {
+        while let Some(at) = self.queue.peek_time() {
+            n += self.drain_batch(at);
+        }
+        n
+    }
+
+    /// Dispatches every event due exactly at `at` (including zero-delay
+    /// follow-ups scheduled by the handler mid-batch) without re-entering
+    /// the queue's ordering machinery per event.
+    fn drain_batch(&mut self, at: SimTime) -> u64 {
+        debug_assert!(at >= self.now, "event scheduled in the past");
+        self.now = self.now.max(at);
+        let mut n = 0;
+        while let Some(ev) = self.queue.pop_due(at) {
+            self.dispatched += 1;
             n += 1;
+            self.handler.handle(self.now, ev, &mut self.queue);
         }
         n
     }

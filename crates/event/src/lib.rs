@@ -46,6 +46,6 @@ mod rng;
 mod time;
 
 pub use engine::{Engine, Handler, StepOutcome};
-pub use queue::{EventQueue, ScheduledEvent};
+pub use queue::{EventId, EventQueue, HeapEventQueue, ScheduledEvent};
 pub use rng::{SimRng, ZipfTable};
 pub use time::{SimDuration, SimTime};

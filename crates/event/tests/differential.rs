@@ -1,0 +1,184 @@
+//! Differential test: the timer-wheel [`EventQueue`] must be observably
+//! identical to the reference binary-heap scheduler ([`HeapEventQueue`])
+//! under random interleavings of schedule / pop / pop_due / cancel —
+//! including same-timestamp bursts, zero-delay self-schedules at the pop
+//! frontier, and deltas that cross every wheel level into the overflow
+//! heap. This is the determinism contract the wheel must honor: same
+//! inputs, same `(time, seq)` dispatch sequence, same bytes downstream.
+
+use dynmds_event::{EventId, EventQueue, HeapEventQueue, SimDuration, SimRng, SimTime};
+
+/// One live (not yet popped or cancelled) event, with the tickets both
+/// queues issued for it. Ticket streams correspond 1:1 because both
+/// queues assign sequence numbers in schedule-call order.
+struct Live {
+    payload: u64,
+    wheel_id: EventId,
+    heap_id: EventId,
+}
+
+fn random_delta(rng: &mut SimRng) -> u64 {
+    // Pick a magnitude class first so every wheel level (and the
+    // overflow heap) sees traffic: 0 = same-instant tie, then deltas
+    // around 2^3, 2^9, 2^14, 2^21, 2^32 microseconds.
+    match rng.below(6) {
+        0 => 0,
+        1 => 1 + rng.below(8),
+        2 => rng.below(1 << 9),
+        3 => rng.below(1 << 14),
+        4 => rng.below(1 << 21),
+        _ => rng.below(1 << 32),
+    }
+}
+
+fn run_differential(seed: u64, hint_us: u64, ops: usize) {
+    let mut wheel: EventQueue<u64> = EventQueue::with_delta_hint(SimDuration::from_micros(hint_us));
+    let mut heap: HeapEventQueue<u64> = HeapEventQueue::new();
+    let mut rng = SimRng::seed_from_u64(seed);
+
+    let mut live: Vec<Live> = Vec::new();
+    let mut next_payload = 0u64;
+    // Times already dispatched; schedules never go below this (the
+    // engine's no-past rule).
+    let mut frontier = SimTime::ZERO;
+
+    let forget = |live: &mut Vec<Live>, payload: u64| {
+        if let Some(i) = live.iter().position(|l| l.payload == payload) {
+            live.swap_remove(i);
+        }
+    };
+
+    for op in 0..ops {
+        match rng.below(10) {
+            // Schedule (most common, keeps population up).
+            0..=4 => {
+                let at = frontier + SimDuration::from_micros(random_delta(&mut rng));
+                let payload = next_payload;
+                next_payload += 1;
+                let wheel_id = wheel.schedule(at, payload);
+                let heap_id = heap.schedule(at, payload);
+                live.push(Live { payload, wheel_id, heap_id });
+            }
+            // Burst of ties at one instant.
+            5 => {
+                let at = frontier + SimDuration::from_micros(random_delta(&mut rng));
+                for _ in 0..rng.below(12) {
+                    let payload = next_payload;
+                    next_payload += 1;
+                    let wheel_id = wheel.schedule(at, payload);
+                    let heap_id = heap.schedule(at, payload);
+                    live.push(Live { payload, wheel_id, heap_id });
+                }
+            }
+            // Pop, then sometimes a zero-delay self-schedule at the
+            // popped instant (what Reply->Issue chains do).
+            6 | 7 => {
+                let w = wheel.pop();
+                let h = heap.pop();
+                match (&w, &h) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!((a.at, a.event), (b.at, b.event), "op {op} seed {seed}");
+                    }
+                    (None, None) => {}
+                    _ => panic!("op {op} seed {seed}: one queue empty, the other not"),
+                }
+                if let Some(ev) = w {
+                    frontier = ev.at;
+                    forget(&mut live, ev.event);
+                    if rng.chance(0.3) {
+                        let payload = next_payload;
+                        next_payload += 1;
+                        let wheel_id = wheel.schedule(ev.at, payload);
+                        let heap_id = heap.schedule(ev.at, payload);
+                        live.push(Live { payload, wheel_id, heap_id });
+                    }
+                }
+            }
+            // Batch drain at the current earliest instant.
+            8 => {
+                if let Some(at) = wheel.peek_time() {
+                    // Draining an instant makes it the dispatch point even
+                    // if everything there was a cancelled tombstone.
+                    frontier = at;
+                    loop {
+                        let w = wheel.pop_due(at);
+                        let h = heap.pop_due(at);
+                        assert_eq!(w, h, "pop_due mismatch at op {op} seed {seed}");
+                        match w {
+                            Some(p) => forget(&mut live, p),
+                            None => break,
+                        }
+                    }
+                }
+            }
+            // Cancel a random live event in both queues.
+            _ => {
+                if !live.is_empty() {
+                    let i = rng.below(live.len() as u64) as usize;
+                    let l = live.swap_remove(i);
+                    assert!(wheel.cancel(l.wheel_id));
+                    assert!(heap.cancel(l.heap_id));
+                }
+            }
+        }
+        assert_eq!(wheel.len(), heap.len(), "len diverged at op {op} seed {seed}");
+        assert_eq!(
+            wheel.peek_time(),
+            heap.peek_time(),
+            "peek_time diverged at op {op} seed {seed}"
+        );
+        assert_eq!(wheel.is_empty(), heap.is_empty());
+    }
+
+    // Drain both to exhaustion: the tails must match event for event.
+    loop {
+        let w = wheel.pop();
+        let h = heap.pop();
+        match (&w, &h) {
+            (Some(a), Some(b)) => assert_eq!((a.at, a.event), (b.at, b.event), "seed {seed}"),
+            (None, None) => break,
+            _ => panic!("seed {seed}: drain length mismatch"),
+        }
+    }
+    assert!(wheel.is_empty() && heap.is_empty());
+    assert_eq!(wheel.scheduled_total(), heap.scheduled_total());
+}
+
+#[test]
+fn wheel_matches_heap_reference_across_seeds() {
+    for seed in 0..30 {
+        run_differential(seed, 40_000, 600);
+    }
+}
+
+#[test]
+fn wheel_matches_heap_with_tiny_wheel_geometry() {
+    // A small level-0 page forces constant upper-level and overflow
+    // traffic, stressing cascades and page turns.
+    for seed in 100..120 {
+        run_differential(seed, 1, 600);
+    }
+}
+
+#[test]
+fn wheel_matches_heap_under_tie_storms() {
+    // Drive almost everything to a handful of instants.
+    for seed in 0..10u64 {
+        let mut wheel: EventQueue<u64> = EventQueue::new();
+        let mut heap: HeapEventQueue<u64> = HeapEventQueue::new();
+        let mut rng = SimRng::seed_from_u64(0xBEEF ^ seed);
+        for payload in 0..400u64 {
+            let at = SimTime::from_micros(rng.below(4) * 1_000);
+            wheel.schedule(at, payload);
+            heap.schedule(at, payload);
+        }
+        loop {
+            let (w, h) = (wheel.pop(), heap.pop());
+            match (&w, &h) {
+                (Some(a), Some(b)) => assert_eq!((a.at, a.event), (b.at, b.event)),
+                (None, None) => break,
+                _ => panic!("length mismatch"),
+            }
+        }
+    }
+}

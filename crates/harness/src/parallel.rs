@@ -13,23 +13,52 @@ struct Slot<R>(UnsafeCell<MaybeUninit<R>>);
 
 unsafe impl<R: Send> Sync for Slot<R> {}
 
-/// Worker-count override: `DYNMDS_THREADS` (a positive integer) wins over
-/// the detected parallelism, so oversubscribed CI machines and reviewers
-/// can pin reproducible timings.
-fn worker_count(n_items: usize) -> usize {
-    let detected = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-    let chosen = std::env::var("DYNMDS_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&t| t > 0)
-        .unwrap_or(detected);
+/// Pure worker-count policy, separated from process state so tests never
+/// have to mutate environment variables (mutating the env from test
+/// threads races with concurrent reads and is UB-adjacent on some
+/// platforms). Precedence: explicit caller override, then the
+/// `DYNMDS_THREADS` value, then detected parallelism; invalid or
+/// non-positive overrides fall through, and the result never exceeds the
+/// item count.
+fn resolve_workers(
+    n_items: usize,
+    explicit: Option<usize>,
+    env: Option<&str>,
+    detected: usize,
+) -> usize {
+    let from_env = || env.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&t| t > 0);
+    let chosen = explicit.filter(|&t| t > 0).or_else(from_env).unwrap_or(detected.max(1));
     chosen.min(n_items)
+}
+
+/// Worker count for a run: an explicit override wins, otherwise the
+/// `DYNMDS_THREADS` environment variable (a positive integer — lets
+/// oversubscribed CI machines and reviewers pin reproducible timings),
+/// otherwise the detected parallelism.
+fn worker_count(n_items: usize, explicit: Option<usize>) -> usize {
+    let detected = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let env = std::env::var("DYNMDS_THREADS").ok();
+    resolve_workers(n_items, explicit, env.as_deref(), detected)
 }
 
 /// Applies `f` to every item on a pool of worker threads, returning the
 /// results in input order. Each item runs exactly once; panics in workers
-/// propagate.
+/// propagate. Worker count comes from `DYNMDS_THREADS` or detected
+/// parallelism; use [`parallel_map_threads`] to pin it explicitly.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_threads(items, None, f)
+}
+
+/// [`parallel_map`] with an explicit worker-count override (`None` defers
+/// to `DYNMDS_THREADS` / detected parallelism). Results are in input
+/// order regardless of the thread count, so output is byte-stable across
+/// any choice of `threads`.
+pub fn parallel_map_threads<T, R, F>(items: &[T], threads: Option<usize>, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -39,7 +68,7 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = worker_count(n);
+    let workers = worker_count(n, threads);
     if workers <= 1 {
         return items.iter().map(&f).collect();
     }
@@ -121,16 +150,29 @@ mod tests {
     }
 
     #[test]
-    fn thread_env_override_is_honoured() {
-        // Worker-count selection is pure given the env value; exercise the
-        // parse + clamp logic directly.
-        std::env::set_var("DYNMDS_THREADS", "2");
-        assert_eq!(worker_count(8), 2);
-        assert_eq!(worker_count(1), 1, "never more workers than items");
-        std::env::set_var("DYNMDS_THREADS", "0");
-        assert!(worker_count(8) >= 1, "invalid override falls back");
-        std::env::set_var("DYNMDS_THREADS", "not-a-number");
-        assert!(worker_count(8) >= 1);
-        std::env::remove_var("DYNMDS_THREADS");
+    fn worker_resolution_is_pure_and_env_free() {
+        // Env override wins over detection and clamps to the item count.
+        assert_eq!(resolve_workers(8, None, Some("2"), 16), 2);
+        assert_eq!(resolve_workers(1, None, Some("2"), 16), 1, "never more workers than items");
+        // Invalid or non-positive env values fall back to detection.
+        assert_eq!(resolve_workers(8, None, Some("0"), 4), 4);
+        assert_eq!(resolve_workers(8, None, Some("not-a-number"), 4), 4);
+        assert_eq!(resolve_workers(8, None, Some(" 3 "), 4), 3, "whitespace tolerated");
+        // No env: detected parallelism, still clamped.
+        assert_eq!(resolve_workers(8, None, None, 4), 4);
+        assert_eq!(resolve_workers(2, None, None, 4), 2);
+        assert_eq!(resolve_workers(8, None, None, 0), 1, "detection floor is one worker");
+        // Explicit override beats both env and detection; zero is ignored.
+        assert_eq!(resolve_workers(8, Some(3), Some("2"), 16), 3);
+        assert_eq!(resolve_workers(8, Some(0), Some("2"), 16), 2);
+    }
+
+    #[test]
+    fn explicit_thread_override_runs_and_preserves_order() {
+        let items: Vec<u64> = (0..64).collect();
+        for threads in [Some(1), Some(2), Some(64), None] {
+            let out = parallel_map_threads(&items, threads, |&x| x * 3);
+            assert_eq!(out, (0..64).map(|x| x * 3).collect::<Vec<_>>(), "{threads:?}");
+        }
     }
 }

@@ -26,7 +26,8 @@
 
 use std::io::Write as _;
 
-use dynmds_event::SimDuration;
+use dynmds_event::{SimDuration, SimRng, SimTime};
+use dynmds_harness::parallel::parallel_map;
 use dynmds_harness::{
     ablation, availability, flashrun, hitrate, scaling, scirun, shiftrun, ExperimentScale,
 };
@@ -83,7 +84,7 @@ fn usage(err: &str) -> ! {
          <fig2|fig3|fig4|fig5|fig6|fig7|sci|ablate-prefetch|ablate-balance|ablate-dirhash|ablate-warming|ablate-leases|ablate-shared-writes|ablate-probation|availability|all|bench|obs>\n\
          \n\
          or:    experiments torture [--seeds N] [--seed-base B] [--ops K] [--strategy NAME|all]\n\
-         \u{20}                     [--out DIR] [--shrink-budget P] [--no-repeat-check]\n\
+         \u{20}                     [--out DIR] [--shrink-budget P] [--no-repeat-check] [--threads T]\n\
          (seeded fuzz scenarios against the DST oracle; repros land in dst/repros/)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
@@ -137,12 +138,49 @@ fn emit(args: &Args, name: &str, table: &Table) {
     }
 }
 
+/// Scheduler-only microbenchmark: a timer wheel holding ~100k pending
+/// events driven through a steady pop-then-reschedule cycle, the shape
+/// the simulation hot loop imposes on it. Deltas come from a table
+/// precomputed outside the timed region so the RNG never shares the
+/// loop with the queue. Returns the median ops/sec (one op = one
+/// schedule or one pop) over ten runs.
+fn scheduler_ops_per_sec() -> f64 {
+    use dynmds_event::EventQueue;
+    use std::time::Instant;
+    const PENDING: usize = 100_000;
+    const STEADY_OPS: usize = 400_000;
+    const DELTA_MASK: usize = 8191;
+    let deltas: Vec<u64> = {
+        let mut rng = SimRng::seed_from_u64(0xD1CE);
+        (0..=DELTA_MASK).map(|_| 1 + rng.below(1 << 16)).collect()
+    };
+    let mut samples: Vec<f64> = (0..10)
+        .map(|_| {
+            let mut q: EventQueue<u32> = EventQueue::with_delta_hint(SimDuration::from_millis(1));
+            let mut now = SimTime::ZERO;
+            for i in 0..PENDING {
+                q.schedule(now + SimDuration::from_micros(deltas[i & DELTA_MASK]), i as u32);
+            }
+            let t = Instant::now();
+            for i in 0..STEADY_OPS {
+                let ev = q.pop().expect("queue never drains in steady state");
+                now = ev.at;
+                q.schedule(now + SimDuration::from_micros(deltas[i & DELTA_MASK]), ev.event);
+            }
+            (2 * STEADY_OPS) as f64 / t.elapsed().as_secs_f64().max(1e-9)
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    (samples[4] + samples[5]) / 2.0
+}
+
 /// Benchmark mode: runs the fixed `--quick` scenario (every figure and
 /// ablation stage), timing each, plus one representative steady-state
 /// simulation whose served-operation count yields a simulated-ops/sec
-/// figure. Results go to `BENCH_sim.json` (in `--csv DIR` when given,
-/// else the working directory). Tables and CSVs are *not* emitted —
-/// this mode exists to track wall-clock, not figure output.
+/// figure and a scheduler-only microbenchmark. Results go to
+/// `BENCH_sim.json` (in `--csv DIR` when given, else the working
+/// directory). Tables and CSVs are *not* emitted — this mode exists to
+/// track wall-clock, not figure output.
 fn run_bench(args: &Args) {
     use std::time::Instant;
     let scale = ExperimentScale::Quick;
@@ -161,6 +199,9 @@ fn run_bench(args: &Args) {
     let rep_wall_s = t0.elapsed().as_secs_f64();
     let ops_simulated = report.total_served();
     let ops_per_sec = ops_simulated as f64 / rep_wall_s.max(1e-9);
+
+    eprintln!("bench: scheduler microbench (100k pending, median of 10)...");
+    let sched_ops_per_sec = scheduler_ops_per_sec();
 
     // With --obs/--obs-trace, time the same run instrumented and report
     // the observability overhead (not part of BENCH_sim.json: the
@@ -207,6 +248,7 @@ fn run_bench(args: &Args) {
     json.push_str(&format!("  \"ops_simulated\": {ops_simulated},\n"));
     json.push_str(&format!("  \"representative_wall_s\": {rep_wall_s:.3},\n"));
     json.push_str(&format!("  \"ops_per_sec\": {ops_per_sec:.1},\n"));
+    json.push_str(&format!("  \"scheduler_ops_per_sec\": {sched_ops_per_sec:.1},\n"));
     json.push_str("  \"figures\": [\n");
     for (i, (name, secs)) in stages.iter().enumerate() {
         let comma = if i + 1 < stages.len() { "," } else { "" };
@@ -231,7 +273,7 @@ fn run_bench(args: &Args) {
     std::fs::write(&path, &json).expect("write BENCH_sim.json");
     println!(
         "bench: {total_wall_s:.2}s for the quick suite ({:.2}x vs seed), \
-         {ops_per_sec:.0} simulated ops/s",
+         {ops_per_sec:.0} simulated ops/s, {sched_ops_per_sec:.0} scheduler ops/s",
         SEED_QUICK_WALL_S / total_wall_s.max(1e-9)
     );
     eprintln!("wrote {path}");
@@ -256,147 +298,211 @@ fn main() {
 
     let want = |name: &str| args.command == name || args.command == "all";
 
+    // Everything a figure stage produces, captured so the stages can run
+    // concurrently while stdout (tables, then summary lines) and CSVs are
+    // emitted afterwards in the fixed canonical order — `experiments all`
+    // prints the same bytes whether it ran on one worker or sixteen.
+    struct StageOut {
+        tables: Vec<(&'static str, Table)>,
+        notes: Vec<String>,
+    }
+    impl StageOut {
+        fn tables(tables: Vec<(&'static str, Table)>) -> Self {
+            StageOut { tables, notes: Vec::new() }
+        }
+    }
+
+    type Stage<'a> = Box<dyn Fn() -> StageOut + Sync + 'a>;
+    let mut stages: Vec<Stage> = Vec::new();
+
     if want("fig2") || want("fig3") {
-        eprintln!("running scaling sweep (figures 2 and 3)...");
-        let points = scaling::run_scaling(scale);
-        if want("fig2") {
-            emit(&args, "fig2", &scaling::fig2_table(&points));
-        }
-        if want("fig3") {
-            emit(&args, "fig3", &scaling::fig3_table(&points));
-        }
-        emit(&args, "scaling_detail", &scaling::context_table(&points));
+        stages.push(Box::new(|| {
+            eprintln!("running scaling sweep (figures 2 and 3)...");
+            let points = scaling::run_scaling(scale);
+            let mut tables = Vec::new();
+            if want("fig2") {
+                tables.push(("fig2", scaling::fig2_table(&points)));
+            }
+            if want("fig3") {
+                tables.push(("fig3", scaling::fig3_table(&points)));
+            }
+            tables.push(("scaling_detail", scaling::context_table(&points)));
+            StageOut::tables(tables)
+        }));
     }
 
     if want("fig4") {
-        eprintln!("running cache-size sweep (figure 4)...");
-        let points = hitrate::run_hitrate(scale);
-        emit(&args, "fig4", &hitrate::fig4_table(&points));
+        stages.push(Box::new(|| {
+            eprintln!("running cache-size sweep (figure 4)...");
+            let points = hitrate::run_hitrate(scale);
+            StageOut::tables(vec![("fig4", hitrate::fig4_table(&points))])
+        }));
     }
 
     if want("fig5") || want("fig6") {
-        eprintln!("running workload-shift comparison (figures 5 and 6)...");
-        let r = shiftrun::run_shift(scale);
-        if want("fig5") {
-            emit(&args, "fig5", &shiftrun::fig5_table(&r, series_bin));
-        }
-        if want("fig6") {
-            emit(&args, "fig6", &shiftrun::fig6_table(&r, series_bin));
-        }
-        let s = shiftrun::shift_summary(&r);
-        println!(
-            "post-shift mean per-MDS throughput: dynamic {:.0} ops/s vs static {:.0} ops/s",
-            s.dyn_after, s.sta_after
-        );
-        println!(
-            "post-shift per-node spread (max-min): dynamic {:.0} vs static {:.0}\n",
-            s.dyn_spread, s.sta_spread
-        );
+        stages.push(Box::new(|| {
+            eprintln!("running workload-shift comparison (figures 5 and 6)...");
+            let r = shiftrun::run_shift(scale);
+            let mut tables = Vec::new();
+            if want("fig5") {
+                tables.push(("fig5", shiftrun::fig5_table(&r, series_bin)));
+            }
+            if want("fig6") {
+                tables.push(("fig6", shiftrun::fig6_table(&r, series_bin)));
+            }
+            let s = shiftrun::shift_summary(&r);
+            let notes = vec![
+                format!(
+                    "post-shift mean per-MDS throughput: dynamic {:.0} ops/s vs static {:.0} ops/s",
+                    s.dyn_after, s.sta_after
+                ),
+                format!(
+                    "post-shift per-node spread (max-min): dynamic {:.0} vs static {:.0}\n",
+                    s.dyn_spread, s.sta_spread
+                ),
+            ];
+            StageOut { tables, notes }
+        }));
     }
 
     if want("fig7") {
-        eprintln!("running flash crowd (figure 7)...");
-        let r = flashrun::run_flash(scale);
-        let bin = SimDuration::from_millis(50);
-        emit(&args, "fig7", &flashrun::fig7_table(&r, bin));
-        let s = flashrun::flash_summary(&r, scale);
-        println!(
-            "time to serve 95% of the crowd: with TC {:.3}s, without TC {:.3}s",
-            s.tc_t95, s.notc_t95
-        );
-        println!("total forwards: with TC {}, without TC {}\n", s.tc_forwards, s.notc_forwards);
+        stages.push(Box::new(|| {
+            eprintln!("running flash crowd (figure 7)...");
+            let r = flashrun::run_flash(scale);
+            let bin = SimDuration::from_millis(50);
+            let tables = vec![("fig7", flashrun::fig7_table(&r, bin))];
+            let s = flashrun::flash_summary(&r, scale);
+            let notes = vec![
+                format!(
+                    "time to serve 95% of the crowd: with TC {:.3}s, without TC {:.3}s",
+                    s.tc_t95, s.notc_t95
+                ),
+                format!(
+                    "total forwards: with TC {}, without TC {}\n",
+                    s.tc_forwards, s.notc_forwards
+                ),
+            ];
+            StageOut { tables, notes }
+        }));
     }
 
     if want("sci") {
-        eprintln!("running scientific-burst workload comparison...");
-        let pts = scirun::run_sci(scale);
-        emit(&args, "sci", &scirun::sci_table(&pts));
+        stages.push(Box::new(|| {
+            eprintln!("running scientific-burst workload comparison...");
+            let pts = scirun::run_sci(scale);
+            StageOut::tables(vec![("sci", scirun::sci_table(&pts))])
+        }));
     }
 
     if want("ablate-prefetch") {
-        eprintln!("running prefetch ablation (Table A)...");
-        let pts = ablation::run_ablate_prefetch(scale);
-        emit(
-            &args,
-            "ablate_prefetch",
-            &ablation::ablation_table("Table A: embedded-inode directory prefetch", &pts),
-        );
+        stages.push(Box::new(|| {
+            eprintln!("running prefetch ablation (Table A)...");
+            let pts = ablation::run_ablate_prefetch(scale);
+            StageOut::tables(vec![(
+                "ablate_prefetch",
+                ablation::ablation_table("Table A: embedded-inode directory prefetch", &pts),
+            )])
+        }));
     }
 
     if want("ablate-balance") {
-        eprintln!("running balancing ablation (Table B)...");
-        let pts = ablation::run_ablate_balance(scale);
-        emit(
-            &args,
-            "ablate_balance",
-            &ablation::ablation_table("Table B: load balancing vs total throughput", &pts),
-        );
+        stages.push(Box::new(|| {
+            eprintln!("running balancing ablation (Table B)...");
+            let pts = ablation::run_ablate_balance(scale);
+            StageOut::tables(vec![(
+                "ablate_balance",
+                ablation::ablation_table("Table B: load balancing vs total throughput", &pts),
+            )])
+        }));
     }
 
     if want("ablate-dirhash") {
-        eprintln!("running huge-directory hashing ablation (Table C)...");
-        let pts = ablation::run_ablate_dir_hash(scale);
-        emit(
-            &args,
-            "ablate_dirhash",
-            &ablation::ablation_table(
-                "Table C: entry-wise hashing of one huge hot directory",
-                &pts,
-            ),
-        );
+        stages.push(Box::new(|| {
+            eprintln!("running huge-directory hashing ablation (Table C)...");
+            let pts = ablation::run_ablate_dir_hash(scale);
+            StageOut::tables(vec![(
+                "ablate_dirhash",
+                ablation::ablation_table(
+                    "Table C: entry-wise hashing of one huge hot directory",
+                    &pts,
+                ),
+            )])
+        }));
     }
 
     if want("ablate-leases") {
-        eprintln!("running client-lease ablation (Table E)...");
-        let pts = ablation::run_ablate_leases(scale);
-        emit(&args, "ablate_leases", &ablation::lease_table(&pts));
+        stages.push(Box::new(|| {
+            eprintln!("running client-lease ablation (Table E)...");
+            let pts = ablation::run_ablate_leases(scale);
+            StageOut::tables(vec![("ablate_leases", ablation::lease_table(&pts))])
+        }));
     }
 
     if want("ablate-probation") {
-        eprintln!("running prefetch-insertion ablation (Table G)...");
-        let pts = ablation::run_ablate_probation(scale);
-        emit(
-            &args,
-            "ablate_probation",
-            &ablation::ablation_table(
-                "Table G: near-tail vs MRU insertion of prefetched metadata",
-                &pts,
-            ),
-        );
+        stages.push(Box::new(|| {
+            eprintln!("running prefetch-insertion ablation (Table G)...");
+            let pts = ablation::run_ablate_probation(scale);
+            StageOut::tables(vec![(
+                "ablate_probation",
+                ablation::ablation_table(
+                    "Table G: near-tail vs MRU insertion of prefetched metadata",
+                    &pts,
+                ),
+            )])
+        }));
     }
 
     if want("ablate-shared-writes") {
-        eprintln!("running shared-writes ablation (Table F)...");
-        let pts = ablation::run_ablate_shared_writes(scale);
-        emit(
-            &args,
-            "ablate_shared_writes",
-            &ablation::ablation_table(
-                "Table F: GPFS-style shared writes under an N-to-1 write crowd",
-                &pts,
-            ),
-        );
+        stages.push(Box::new(|| {
+            eprintln!("running shared-writes ablation (Table F)...");
+            let pts = ablation::run_ablate_shared_writes(scale);
+            StageOut::tables(vec![(
+                "ablate_shared_writes",
+                ablation::ablation_table(
+                    "Table F: GPFS-style shared writes under an N-to-1 write crowd",
+                    &pts,
+                ),
+            )])
+        }));
     }
 
     if want("ablate-warming") {
-        eprintln!("running journal cache-warming ablation (Table D)...");
-        let pts = ablation::run_ablate_journal_warming(scale);
-        emit(
-            &args,
-            "ablate_warming",
-            &ablation::ablation_table(
-                "Table D: journal cache warming on failover (post-failure window)",
-                &pts,
-            ),
-        );
+        stages.push(Box::new(|| {
+            eprintln!("running journal cache-warming ablation (Table D)...");
+            let pts = ablation::run_ablate_journal_warming(scale);
+            StageOut::tables(vec![(
+                "ablate_warming",
+                ablation::ablation_table(
+                    "Table D: journal cache warming on failover (post-failure window)",
+                    &pts,
+                ),
+            )])
+        }));
     }
 
     if want("availability") {
-        eprintln!("running availability-under-churn experiment...");
-        let schedule = args.faults.clone().unwrap_or_else(|| availability::default_schedule(scale));
-        let pts = availability::run_availability(scale, &schedule);
-        emit(&args, "availability", &availability::availability_table(&pts));
+        stages.push(Box::new(|| {
+            eprintln!("running availability-under-churn experiment...");
+            let schedule =
+                args.faults.clone().unwrap_or_else(|| availability::default_schedule(scale));
+            let pts = availability::run_availability(scale, &schedule);
+            StageOut::tables(vec![("availability", availability::availability_table(&pts))])
+        }));
     }
+
+    // The stages fan out across workers (each stage also parallelizes its
+    // own simulations internally); emission stays serial and ordered.
+    for out in parallel_map(&stages, |stage| stage()) {
+        for (name, table) in &out.tables {
+            emit(&args, name, table);
+        }
+        for note in &out.notes {
+            println!("{note}");
+        }
+    }
+    // The stage closures borrow `args`; release them before the obs tail
+    // takes it by value.
+    drop(stages);
 
     // `obs` alone (or any figure combined with --obs/--obs-trace) ends
     // with the instrumented representative run.
