@@ -74,9 +74,75 @@ fn step<Q: Sched>(q: &mut Q, deltas: &[u64], i: &mut usize) -> SimTime {
     ev.at
 }
 
+/// Sparse-schedule deltas: inter-event gaps past the level-0 page (1024
+/// µs at the simulation's delta hint), the DST torture regime where the
+/// wheel used to cursor-walk empty pages and lost ~5% to the heap.
+fn sparse_delta_table() -> Vec<u64> {
+    let mut rng = SimRng::seed_from_u64(0x5AB5);
+    (0..=DELTA_MASK).map(|_| 2_048 + rng.below(1 << 16)).collect()
+}
+
+const SPARSE_PENDING: usize = 48;
+
+/// Pins the sparse fast path: with gaps beyond the level-0 page and a
+/// small population, the wheel must stay within 15% of the heap's
+/// throughput (it used to trail by ~5% and the heap's log(48) pops are
+/// cheap — without the single-occupant-bucket pop the wheel pays a
+/// settle/cascade round trip per event and fails this bound). Medians
+/// over several interleaved runs keep the check stable on noisy CI.
+fn assert_sparse_fast_path(deltas: &[u64]) {
+    let run = |f: &mut dyn FnMut() -> SimTime| {
+        let start = std::time::Instant::now();
+        let mut last = SimTime::ZERO;
+        for _ in 0..200_000 {
+            last = f();
+        }
+        (start.elapsed(), last)
+    };
+    let mut wheel_times = Vec::new();
+    let mut heap_times = Vec::new();
+    for _ in 0..5 {
+        let mut q: EventQueue<u64> = EventQueue::with_delta_hint(SimDuration::from_millis(1));
+        prefill(&mut q, SPARSE_PENDING, deltas);
+        let mut i = 0usize;
+        wheel_times.push(run(&mut || step(&mut q, deltas, &mut i)).0);
+
+        let mut q: HeapEventQueue<u64> = HeapEventQueue::new();
+        prefill(&mut q, SPARSE_PENDING, deltas);
+        let mut i = 0usize;
+        heap_times.push(run(&mut || step(&mut q, deltas, &mut i)).0);
+    }
+    wheel_times.sort();
+    heap_times.sort();
+    let (wheel, heap) = (wheel_times[2], heap_times[2]);
+    let ratio = heap.as_secs_f64() / wheel.as_secs_f64();
+    println!(
+        "sparse fast path: wheel {:.1?} vs heap {:.1?} per 200k steps (wheel/heap speed {ratio:.2}x)",
+        wheel, heap
+    );
+    assert!(
+        ratio >= 0.85,
+        "sparse-schedule regression: wheel {wheel:?} vs heap {heap:?} ({ratio:.2}x, need >= 0.85x)"
+    );
+}
+
 fn bench_scheduler(c: &mut Criterion) {
     let deltas = delta_table();
+    let sparse = sparse_delta_table();
+    assert_sparse_fast_path(&sparse);
     let mut g = c.benchmark_group("scheduler");
+    g.bench_function("wheel_sparse_48_pending", |b| {
+        let mut q: EventQueue<u64> = EventQueue::with_delta_hint(SimDuration::from_millis(1));
+        prefill(&mut q, SPARSE_PENDING, &sparse);
+        let mut i = 0usize;
+        b.iter(|| step(&mut q, &sparse, &mut i))
+    });
+    g.bench_function("heap_sparse_48_pending", |b| {
+        let mut q: HeapEventQueue<u64> = HeapEventQueue::new();
+        prefill(&mut q, SPARSE_PENDING, &sparse);
+        let mut i = 0usize;
+        b.iter(|| step(&mut q, &sparse, &mut i))
+    });
     for pending in [1_000usize, 100_000, 1_000_000] {
         let label = match pending {
             1_000 => "1k",

@@ -37,6 +37,7 @@ pub mod node;
 pub mod obs;
 pub mod report;
 pub mod request;
+pub mod shard;
 pub mod sim;
 #[cfg(test)]
 pub(crate) mod testutil;
@@ -51,4 +52,5 @@ pub use fault::{ChurnSpec, DiskScope, FaultEvent, FaultSchedule, NetFaultSpec, R
 pub use obs::{ClusterObs, ObsExport};
 pub use report::{NodeSnapshot, SimReport};
 pub use request::{Request, SimEvent};
+pub use shard::{LatencyAgg, ShardReport, ShardedSimulation};
 pub use sim::Simulation;

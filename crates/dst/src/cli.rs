@@ -5,7 +5,7 @@
 //! experiments torture [--seeds N] [--seed-base B] [--ops K]
 //!                     [--strategy NAME|all] [--out DIR]
 //!                     [--shrink-budget P] [--no-repeat-check]
-//!                     [--threads T]
+//!                     [--threads T] [--shards K]
 //! ```
 //!
 //! Output is derived entirely from simulation results (no wall-clock, no
@@ -16,6 +16,7 @@
 
 use std::io::Write as _;
 
+use dynmds_event::SimDuration;
 use dynmds_harness::parallel::parallel_map_threads;
 use dynmds_partition::StrategyKind;
 
@@ -34,6 +35,10 @@ struct TortureArgs {
     /// Worker-thread override; `None` defers to `DYNMDS_THREADS` or
     /// detected parallelism. Reports are byte-identical either way.
     threads: Option<usize>,
+    /// When > 0, additionally run every scenario through the sharded
+    /// engine at 1 shard and at `shards` shards and require byte-equal
+    /// reports; a mismatch counts as a failure.
+    shards: usize,
 }
 
 fn parse_args(args: &[String]) -> Result<TortureArgs, String> {
@@ -46,6 +51,7 @@ fn parse_args(args: &[String]) -> Result<TortureArgs, String> {
         shrink_budget: 250,
         repeat_check: true,
         threads: None,
+        shards: 0,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -73,6 +79,13 @@ fn parse_args(args: &[String]) -> Result<TortureArgs, String> {
                     return Err("--threads must be positive".into());
                 }
                 out.threads = Some(t);
+            }
+            "--shards" => {
+                let k: usize = val("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?;
+                if k == 0 {
+                    return Err("--shards must be positive".into());
+                }
+                out.shards = k;
             }
             "--strategy" => {
                 let v = val("--strategy")?;
@@ -102,6 +115,9 @@ struct ScenarioResult {
     /// `Some` when the run diverged: the finished repro text plus a
     /// summary of the shrink.
     failure: Option<Failure>,
+    /// `Some` when the sharded cross-check found the report differing
+    /// between 1 shard and K shards (only run with `--shards`).
+    shard_mismatch: Option<String>,
 }
 
 struct Failure {
@@ -111,7 +127,37 @@ struct Failure {
     probes: u64,
 }
 
-fn run_one(sc: &Scenario, shrink_budget: u64) -> ScenarioResult {
+/// Runs the scenario through the sharded engine at one shard and at
+/// `shards`, and reports the first line where the two reports differ.
+/// Both runs are single-threaded — the torture pipeline already fans
+/// scenarios across cores, so nesting worker pools would only thrash.
+fn shard_cross_check(sc: &Scenario, shards: usize) -> Option<String> {
+    let render = |k: usize| {
+        let snap = sc.snapshot();
+        let homes = snap.user_homes.clone();
+        let shared = snap.shared_roots.clone();
+        let factory =
+            |ns: &dynmds_namespace::Namespace| -> Box<dyn dynmds_workload::Workload + Send> {
+                Box::new(sc.workload_parts(&homes, &shared, ns))
+            };
+        let sim = dynmds_core::ShardedSimulation::new(sc.config(), k, Some(1), snap, &factory);
+        // The fault schedule is front-loaded into the scenario horizon;
+        // cap the virtual span so the cross-check stays a smoke-sized
+        // addition to the oracle run it rides along with.
+        let span = SimDuration::from_micros(sc.horizon_us.min(6_000_000));
+        sim.run_measured(SimDuration::from_micros(0), span).render()
+    };
+    let (one, many) = (render(1), render(shards));
+    (one != many).then(|| {
+        one.lines()
+            .zip(many.lines())
+            .find(|(a, b)| a != b)
+            .map(|(a, b)| format!("1 shard: `{a}` vs {shards} shards: `{b}`"))
+            .unwrap_or_else(|| "reports differ in length".to_string())
+    })
+}
+
+fn run_one(sc: &Scenario, shrink_budget: u64, shards: usize) -> ScenarioResult {
     let out = run_scenario(sc, true);
     let failure = (!out.divergences.is_empty()).then(|| {
         let (min_sc, min_trace, stats) = shrink(sc, &out.trace, &out.uids, shrink_budget);
@@ -124,6 +170,7 @@ fn run_one(sc: &Scenario, shrink_budget: u64) -> ScenarioResult {
             probes: stats.probes,
         }
     });
+    let shard_mismatch = (shards > 0).then(|| shard_cross_check(sc, shards)).flatten();
     ScenarioResult {
         strategy: sc.strategy,
         seed: sc.seed,
@@ -131,6 +178,7 @@ fn run_one(sc: &Scenario, shrink_budget: u64) -> ScenarioResult {
         ops_completed: out.ops_completed,
         checkpoints: out.checkpoints,
         failure,
+        shard_mismatch,
     }
 }
 
@@ -159,25 +207,47 @@ pub fn run_torture(args: &[String]) -> i32 {
         args.ops
     );
 
-    let results =
-        parallel_map_threads(&scenarios, args.threads, |sc| run_one(sc, args.shrink_budget));
+    if args.shards > 0 {
+        dynmds_harness::parallel::install_shard_driver();
+        println!("torture: sharded cross-check on ({} shards vs 1)", args.shards);
+    }
+
+    let results = parallel_map_threads(&scenarios, args.threads, |sc| {
+        run_one(sc, args.shrink_budget, args.shards)
+    });
 
     let mut failures = 0u64;
     for s in &args.strategies {
         let (mut runs, mut ops, mut cps, mut diverged) = (0u64, 0u64, 0u64, 0u64);
+        let mut shard_mismatches = 0u64;
         let mut digest = 0u64;
         for r in results.iter().filter(|r| r.strategy == *s) {
             runs += 1;
             ops += r.ops_completed;
             cps += r.checkpoints;
             diverged += u64::from(r.failure.is_some());
+            shard_mismatches += u64::from(r.shard_mismatch.is_some());
             digest = digest.wrapping_mul(0x100_0000_01b3) ^ r.digest;
         }
+        let shard_note = if args.shards > 0 {
+            format!(", {shard_mismatches} shard mismatches")
+        } else {
+            String::new()
+        };
         println!(
-            "  {:>14}: {runs} runs, {ops} ops, {cps} checkpoints, {diverged} divergences, digest {digest:#018x}",
+            "  {:>14}: {runs} runs, {ops} ops, {cps} checkpoints, {diverged} divergences{shard_note}, digest {digest:#018x}",
             s.label()
         );
-        failures += diverged;
+        failures += diverged + shard_mismatches;
+    }
+
+    for r in results.iter().filter(|r| r.shard_mismatch.is_some()) {
+        println!(
+            "SHARD MISMATCH seed={} strategy={}: {}",
+            r.seed,
+            r.strategy.label(),
+            r.shard_mismatch.as_ref().unwrap()
+        );
     }
 
     for r in results.iter().filter(|r| r.failure.is_some()) {

@@ -184,6 +184,19 @@ impl Scenario {
     /// mutations (links, renames, unlinks) to stress the anchor table and
     /// cache coherence. Only used when *generating*; replays ignore it.
     pub fn workload(&self, snap: &Snapshot) -> GeneralWorkload {
+        self.workload_parts(&snap.user_homes, &snap.shared_roots, &snap.ns)
+    }
+
+    /// [`Scenario::workload`] from pre-split snapshot parts — for callers
+    /// (the sharded cross-check) that hold only a `&Namespace` plus
+    /// cloned home/shared lists. Deterministic in the scenario seed, so
+    /// repeated calls build identical generators.
+    pub fn workload_parts(
+        &self,
+        user_homes: &[dynmds_namespace::InodeId],
+        shared_roots: &[dynmds_namespace::InodeId],
+        ns: &dynmds_namespace::Namespace,
+    ) -> GeneralWorkload {
         let mut rng = SimRng::seed_from_u64(self.seed ^ 0x0317);
         let mix = OpMix {
             stat: 20.0 + rng.unit() * 20.0,
@@ -207,13 +220,7 @@ impl Scenario {
             mix,
             seed: self.seed ^ 0x17,
         };
-        GeneralWorkload::new(
-            cfg,
-            self.n_clients as usize,
-            &snap.user_homes,
-            &snap.shared_roots,
-            &snap.ns,
-        )
+        GeneralWorkload::new(cfg, self.n_clients as usize, user_homes, shared_roots, ns)
     }
 }
 

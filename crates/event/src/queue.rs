@@ -113,6 +113,10 @@ pub struct EventQueue<E> {
     l1: Box<[Vec<Entry<E>>]>,
     l2: Box<[Vec<Entry<E>>]>,
     occ0: Box<[u64]>,
+    /// Summary of `occ0`: bit `w` is set iff `occ0[w] != 0`, so scanning
+    /// a mostly-empty level 0 costs one find-first-set instead of a walk
+    /// over all `2^b0 / 64` words (the sparse-schedule fast path).
+    sum0: u64,
     occ1: [u64; OCC_WORDS],
     occ2: [u64; OCC_WORDS],
     /// Occupied-slot counts per level, so pops skip the bitmap scan of a
@@ -185,6 +189,7 @@ impl<E> EventQueue<E> {
             l1: (0..LEVEL_SLOTS).map(|_| Vec::new()).collect(),
             l2: (0..LEVEL_SLOTS).map(|_| Vec::new()).collect(),
             occ0: vec![0u64; slots0 / 64].into_boxed_slice(),
+            sum0: 0,
             occ1: [0; OCC_WORDS],
             occ2: [0; OCC_WORDS],
             live0: 0,
@@ -317,6 +322,7 @@ impl<E> EventQueue<E> {
             let (w, m) = (s >> 6, 1u64 << (s & 63));
             if self.occ0[w] & m == 0 {
                 self.occ0[w] |= m;
+                self.sum0 |= 1u64 << w;
                 self.live0 += 1;
             }
             self.l0[s].push_back(e);
@@ -404,21 +410,75 @@ impl<E> EventQueue<E> {
     /// `next_at == Some(t)`. Returns `None` when that entry was a reaped
     /// tombstone (callers loop).
     fn take_front(&mut self, t: u64) -> Option<Entry<E>> {
-        if t != self.cursor {
+        let e = if t == self.cursor {
+            self.take_level0(t)
+        } else if let Some(e) = self.take_sparse(t) {
+            e
+        } else {
             self.settle_to(t);
-        }
-        let s = (t & self.l0_mask) as usize;
-        let e = self.l0[s].pop_front().expect("next_at points at an occupied slot");
-        debug_assert_eq!(e.at, t);
-        if self.l0[s].is_empty() {
-            self.occ0[s >> 6] &= !(1 << (s & 63));
-            self.live0 -= 1;
-            self.advance_next();
-        }
+            self.take_level0(t)
+        };
         if !self.cancelled.is_empty() && self.cancelled.remove(&e.seq) {
             return None;
         }
         self.pending -= 1;
+        Some(e)
+    }
+
+    /// Pops the front of the level-0 slot holding `t` (the slow-path tail
+    /// of [`take_front`], after any needed cascade).
+    fn take_level0(&mut self, t: u64) -> Entry<E> {
+        let s = (t & self.l0_mask) as usize;
+        let e = self.l0[s].pop_front().expect("next_at points at an occupied slot");
+        debug_assert_eq!(e.at, t);
+        if self.l0[s].is_empty() {
+            let w = s >> 6;
+            self.occ0[w] &= !(1 << (s & 63));
+            if self.occ0[w] == 0 {
+                self.sum0 &= !(1u64 << w);
+            }
+            self.live0 -= 1;
+            self.advance_next();
+        }
+        e
+    }
+
+    /// Sparse fast path: when level 0 is empty and the event at `t` is
+    /// the sole occupant of its upper-level bucket — with the other upper
+    /// level's covering bucket empty, so nothing else needs cascading —
+    /// pop it straight out of the bucket. This skips the settle/cascade
+    /// round trip (bucket drain, level-0 occupancy churn, re-scan) that
+    /// otherwise costs every pop on schedules whose inter-event gaps
+    /// exceed the level-0 page. Correctness: `live0 == 0` rules out
+    /// level-0 entries, same-page rules out overflow entries at `t`, and
+    /// the bucket indexes are functions of `t` alone, so the popped entry
+    /// is the unique earliest; leaving the *other* covering bucket
+    /// untouched is required because `advance_next` scans strictly past
+    /// the cursor's own slot at every level.
+    fn take_sparse(&mut self, t: u64) -> Option<Entry<E>> {
+        if self.live0 != 0 || (t ^ self.cursor) >> self.span_bits != 0 {
+            return None;
+        }
+        let s1 = (t >> self.l0_bits) as usize & (LEVEL_SLOTS - 1);
+        let s2 = (t >> (self.l0_bits + LEVEL_BITS)) as usize & (LEVEL_SLOTS - 1);
+        let (w1, m1) = (s1 >> 6, 1u64 << (s1 & 63));
+        let (w2, m2) = (s2 >> 6, 1u64 << (s2 & 63));
+        let in1 = self.occ1[w1] & m1 != 0;
+        let in2 = self.occ2[w2] & m2 != 0;
+        let e = if in1 && !in2 && self.min1[s1] == t && self.l1[s1].len() == 1 {
+            self.occ1[w1] &= !m1;
+            self.live1 -= 1;
+            self.l1[s1].pop().expect("occupied level-1 bucket")
+        } else if in2 && !in1 && self.min2[s2] == t && self.l2[s2].len() == 1 {
+            self.occ2[w2] &= !m2;
+            self.live2 -= 1;
+            self.l2[s2].pop().expect("occupied level-2 bucket")
+        } else {
+            return None;
+        };
+        debug_assert_eq!(e.at, t);
+        self.cursor = t;
+        self.advance_next();
         Some(e)
     }
 
@@ -430,7 +490,7 @@ impl<E> EventQueue<E> {
         let t = self.cursor;
         if self.live0 > 0 {
             let s0 = (t & self.l0_mask) as usize;
-            if let Some(s) = scan_from(&self.occ0, s0 + 1) {
+            if let Some(s) = self.scan_occ0(s0 + 1) {
                 self.next_at = Some((t & !self.l0_mask) | s as u64);
                 return;
             }
@@ -453,6 +513,26 @@ impl<E> EventQueue<E> {
             debug_assert!(false, "live2 > 0 but no occupied slot ahead of the cursor");
         }
         self.next_at = self.overflow.peek().map(|f| f.0.at);
+    }
+
+    /// First occupied level-0 slot at or after `from`, using the summary
+    /// word to jump over empty bitmap words (level 0 has at most
+    /// `2^10 / 64 = 16` words, so the summary always fits in one `u64`).
+    fn scan_occ0(&self, from: usize) -> Option<usize> {
+        let w0 = from >> 6;
+        if w0 >= self.occ0.len() {
+            return None;
+        }
+        let first = self.occ0[w0] & (!0u64 << (from & 63));
+        if first != 0 {
+            return Some((w0 << 6) | first.trailing_zeros() as usize);
+        }
+        let rest = self.sum0 & !((1u64 << (w0 + 1)) - 1);
+        if rest == 0 {
+            return None;
+        }
+        let w = rest.trailing_zeros() as usize;
+        Some((w << 6) | self.occ0[w].trailing_zeros() as usize)
     }
 }
 
@@ -812,6 +892,63 @@ mod tests {
             let got: Vec<(u64, usize)> =
                 std::iter::from_fn(|| q.pop().map(|e| (e.at.as_micros(), e.event))).collect();
             assert_eq!(got, expect, "hint {hint_us}");
+        }
+    }
+
+    #[test]
+    fn sparse_schedules_match_heap_reference() {
+        // Inter-event gaps larger than the level-0 page drive every pop
+        // through the sparse fast path (single-occupant upper buckets);
+        // mixing in same-time ties, dense clusters and cancels forces the
+        // fall-back to the cascade path. Differential against the heap.
+        let mut xs = 0x5EED_CAFE_u64;
+        let mut rand = move || {
+            xs ^= xs << 13;
+            xs ^= xs >> 7;
+            xs ^= xs << 17;
+            xs
+        };
+        let mut wheel = EventQueue::with_bits(8);
+        let mut heap = HeapEventQueue::new();
+        let mut now = 0u64;
+        // Live tickets by payload; popped or cancelled entries become
+        // `None` so we never cancel an already-fired ticket (a contract
+        // violation both queues assert on in debug builds).
+        let mut tickets: Vec<Option<(EventId, EventId)>> = Vec::new();
+        for i in 0..5_000usize {
+            let gap = match rand() % 10 {
+                0..=5 => 300 + rand() % 100_000,     // beyond the 2^8 µs page
+                6..=7 => rand() % 8,                 // dense / tied
+                _ => (1 << 20) + rand() % (1 << 22), // deep level 2
+            };
+            let at = t(now + gap);
+            tickets.push(Some((wheel.schedule(at, i), heap.schedule(at, i))));
+            if rand() % 7 == 0 {
+                let pick = (rand() % tickets.len() as u64) as usize;
+                if let Some((wt, ht)) = tickets[pick].take() {
+                    assert_eq!(wheel.cancel(wt), heap.cancel(ht));
+                }
+            }
+            if rand() % 3 == 0 {
+                let (w, h) = (wheel.pop(), heap.pop());
+                match (&w, &h) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!((a.at, a.event), (b.at, b.event));
+                        now = a.at.as_micros();
+                        tickets[a.event] = None;
+                    }
+                    (None, None) => {}
+                    _ => panic!("wheel/heap divergence: {w:?} vs {h:?}"),
+                }
+            }
+            assert_eq!(wheel.len(), heap.len());
+        }
+        loop {
+            match (wheel.pop(), heap.pop()) {
+                (Some(a), Some(b)) => assert_eq!((a.at, a.event), (b.at, b.event)),
+                (None, None) => break,
+                (w, h) => panic!("drain divergence: {w:?} vs {h:?}"),
+            }
         }
     }
 

@@ -22,12 +22,14 @@
 
 pub mod flash;
 pub mod general;
+pub mod hotset;
 pub mod ops;
 pub mod shift;
 pub mod trace;
 
 pub use flash::{BurstKind, FlashCrowd, ScientificWorkload, WriteCrowd};
 pub use general::{GeneralWorkload, WorkloadConfig};
+pub use hotset::HotSetWorkload;
 pub use ops::{Op, OpKind, OpMix};
 pub use shift::ShiftingWorkload;
 pub use trace::{Trace, TraceOp, TraceRecord, TraceRecorder, TraceReplay};

@@ -12,11 +12,21 @@ mkdir -p "$OUT"
 
 cargo run --release --offline --locked --bin experiments -- bench --csv "$OUT"
 
-extract_total() {
-    grep -o '"total_wall_s": *[0-9.]*' "$1" | grep -o '[0-9.]*$'
+extract_field() {
+    grep -o "\"$2\": *[0-9.]*" "$1" | grep -o '[0-9.]*$'
 }
-fresh=$(extract_total "$OUT/BENCH_sim.json")
-base=$(extract_total BENCH_sim.json)
+fresh=$(extract_field "$OUT/BENCH_sim.json" total_wall_s)
+base=$(extract_field BENCH_sim.json total_wall_s)
+
+# The sharded-engine figures must be present (the curve is the artifact
+# trend-watchers chart; the headline is the 8-shard point).
+sharded=$(extract_field "$OUT/BENCH_sim.json" sharded_ops_per_sec)
+rss=$(extract_field "$OUT/BENCH_sim.json" peak_rss_bytes)
+if [ -z "$sharded" ] || [ -z "$rss" ]; then
+    echo "bench smoke: FAIL — BENCH_sim.json is missing sharded_ops_per_sec/peak_rss_bytes"
+    exit 1
+fi
+echo "bench smoke: sharded engine at 8 shards: $sharded ops/s, peak RSS $rss bytes"
 
 # No bc in minimal CI images; awk does the float compare.
 awk -v f="$fresh" -v b="$base" 'BEGIN {

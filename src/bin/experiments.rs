@@ -85,6 +85,7 @@ fn usage(err: &str) -> ! {
          \n\
          or:    experiments torture [--seeds N] [--seed-base B] [--ops K] [--strategy NAME|all]\n\
          \u{20}                     [--out DIR] [--shrink-budget P] [--no-repeat-check] [--threads T]\n\
+         \u{20}                     [--shards K]  (cross-check sharded engine reports, K vs 1)\n\
          (seeded fuzz scenarios against the DST oracle; repros land in dst/repros/)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
@@ -174,6 +175,69 @@ fn scheduler_ops_per_sec() -> f64 {
     (samples[4] + samples[5]) / 2.0
 }
 
+/// One sharded-engine throughput run: a lease-heavy hot-set workload
+/// where nearly every operation is a client-local lease completion (one
+/// timer-wheel event per op), so the figure measures engine overhead —
+/// queue, window loop, exchange — rather than protocol round trips.
+/// Returns (simulated ops, ops per wall-clock second).
+fn sharded_bench_run(shards: usize, measure: SimDuration) -> (dynmds_core::ShardReport, f64) {
+    use std::time::Instant;
+    let mut cfg = dynmds_core::SimConfig::small(dynmds_partition::StrategyKind::DynamicSubtree);
+    cfg.n_mds = 8;
+    cfg.n_clients = 2_000;
+    cfg.cache_capacity = 4_000;
+    cfg.journal_capacity = 16_000;
+    cfg.n_osds = 16;
+    cfg.client_leases = true;
+    // Leases must outlive the run so the measured window never refreshes:
+    // every measured op is then a client-local completion.
+    cfg.lease_ttl = SimDuration::from_secs(120);
+    // A dense event stream (mean 4k ops/s per client) keeps hundreds of
+    // events in every 100µs conservative window, amortizing the
+    // per-window barrier across many operations.
+    cfg.costs.think_mean = SimDuration::from_micros(250);
+    // A modern flash OSD pool; the 2004 commodity-disk default would
+    // stretch the lease-population warmup to tens of virtual seconds.
+    cfg.costs.osd_disk =
+        dynmds_storage::DiskParams { latency: SimDuration::from_micros(200), iops: 20_000.0 };
+    cfg.balancing = false;
+    cfg.traffic_control = false;
+    cfg.seed = 42;
+    dynmds_harness::parallel::install_shard_driver();
+    let snap =
+        dynmds_namespace::NamespaceSpec::with_target_items(64, 8_000, cfg.seed ^ 0xF5).generate();
+    let n_clients = cfg.n_clients as usize;
+    let seed = cfg.seed;
+    let mut sim = dynmds_core::ShardedSimulation::new(cfg, shards, None, snap, &move |ns| {
+        Box::new(dynmds_workload::HotSetWorkload::new(ns, n_clients, 32, seed ^ 0x17))
+    });
+    let warmup = SimDuration::from_secs(3);
+    sim.run_until(dynmds_event::SimTime::ZERO + warmup);
+    sim.reset_measurement();
+    // Only the measured span is timed: the warmup's lease-population
+    // traffic would otherwise dilute the steady-state figure.
+    let t = Instant::now();
+    sim.run_until(dynmds_event::SimTime::ZERO + warmup + measure);
+    let wall = t.elapsed().as_secs_f64();
+    let report = sim.finish();
+    let rate = report.ops as f64 / wall.max(1e-9);
+    (report, rate)
+}
+
+/// Peak resident set (VmHWM) in bytes, 0 where /proc is unavailable.
+fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<u64>().ok())
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
 /// Benchmark mode: runs the fixed `--quick` scenario (every figure and
 /// ablation stage), timing each, plus one representative steady-state
 /// simulation whose served-operation count yields a simulated-ops/sec
@@ -202,6 +266,20 @@ fn run_bench(args: &Args) {
 
     eprintln!("bench: scheduler microbench (100k pending, median of 10)...");
     let sched_ops_per_sec = scheduler_ops_per_sec();
+
+    // Sharded-engine throughput: the scaling curve over shard counts,
+    // with the 8-shard point as the headline `sharded_ops_per_sec`.
+    let mut sharded_curve: Vec<(usize, f64)> = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        eprintln!("bench: sharded hot-set run ({shards} shards)...");
+        let (report, rate) = sharded_bench_run(shards, SimDuration::from_secs(2));
+        assert!(
+            report.lease_hits * 10 >= report.ops * 9,
+            "sharded bench drifted out of the lease fast path"
+        );
+        sharded_curve.push((shards, rate));
+    }
+    let sharded_ops_per_sec = sharded_curve.last().map(|&(_, r)| r).unwrap_or(0.0);
 
     // With --obs/--obs-trace, time the same run instrumented and report
     // the observability overhead (not part of BENCH_sim.json: the
@@ -249,6 +327,20 @@ fn run_bench(args: &Args) {
     json.push_str(&format!("  \"representative_wall_s\": {rep_wall_s:.3},\n"));
     json.push_str(&format!("  \"ops_per_sec\": {ops_per_sec:.1},\n"));
     json.push_str(&format!("  \"scheduler_ops_per_sec\": {sched_ops_per_sec:.1},\n"));
+    json.push_str(&format!("  \"sharded_ops_per_sec\": {sharded_ops_per_sec:.1},\n"));
+    json.push_str("  \"sharded_scaling\": [\n");
+    for (i, (shards, rate)) in sharded_curve.iter().enumerate() {
+        let comma = if i + 1 < sharded_curve.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"shards\": {shards}, \"ops_per_sec\": {rate:.1}}}{comma}\n"
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"cores\": {},\n",
+        std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+    ));
+    json.push_str(&format!("  \"peak_rss_bytes\": {},\n", peak_rss_bytes()));
     json.push_str("  \"figures\": [\n");
     for (i, (name, secs)) in stages.iter().enumerate() {
         let comma = if i + 1 < stages.len() { "," } else { "" };
@@ -273,7 +365,8 @@ fn run_bench(args: &Args) {
     std::fs::write(&path, &json).expect("write BENCH_sim.json");
     println!(
         "bench: {total_wall_s:.2}s for the quick suite ({:.2}x vs seed), \
-         {ops_per_sec:.0} simulated ops/s, {sched_ops_per_sec:.0} scheduler ops/s",
+         {ops_per_sec:.0} simulated ops/s, {sched_ops_per_sec:.0} scheduler ops/s, \
+         {sharded_ops_per_sec:.0} sharded ops/s @ 8 shards",
         SEED_QUICK_WALL_S / total_wall_s.max(1e-9)
     );
     eprintln!("wrote {path}");
@@ -288,6 +381,19 @@ fn main() {
     let args = parse_args();
     if args.command == "bench" {
         run_bench(&args);
+        return;
+    }
+    // Sharded-engine throughput only (the scaling curve `bench` embeds in
+    // BENCH_sim.json), for quick iteration and the CI bench smoke.
+    if args.command == "bench-sharded" {
+        for shards in [1usize, 2, 4, 8] {
+            let (r, rate) = sharded_bench_run(shards, SimDuration::from_secs(2));
+            println!(
+                "shards {shards}: {} ops ({:.1}% lease hits), {rate:.0} ops/s",
+                r.ops,
+                100.0 * r.lease_hits as f64 / r.ops.max(1) as f64
+            );
+        }
         return;
     }
     let scale = args.scale;

@@ -12,7 +12,9 @@
 //!   --seconds N         measured virtual seconds              (20)
 //!   --warmup N          warm-up virtual seconds               (8)
 //!   --seed N            RNG seed                              (7)
-//!   --workload general|scientific                             (general)
+//!   --shards N          run the sharded engine on N event queues (0 = legacy serial engine)
+//!   --threads N         worker threads for the shard fan-out   (worker policy)
+//!   --workload general|scientific|hotset                      (general)
 //!   --leases            enable client metadata leases
 //!   --shared-writes     enable GPFS-style shared writes
 //!   --no-balancing      disable the load balancer
@@ -36,12 +38,14 @@
 //! exports are timestamped with the sim clock and byte-identical across
 //! runs with the same seed.
 
-use dynmds_core::{SimConfig, Simulation};
+use dynmds_core::{FaultEvent, ShardedSimulation, SimConfig, Simulation};
 use dynmds_event::{SimDuration, SimTime};
 use dynmds_metrics::Table;
-use dynmds_namespace::{MdsId, NamespaceSpec};
+use dynmds_namespace::{MdsId, Namespace, NamespaceSpec, Snapshot};
 use dynmds_partition::StrategyKind;
-use dynmds_workload::{GeneralWorkload, ScientificWorkload, Workload, WorkloadConfig};
+use dynmds_workload::{
+    GeneralWorkload, HotSetWorkload, ScientificWorkload, Workload, WorkloadConfig,
+};
 
 struct Args {
     strategy: StrategyKind,
@@ -53,6 +57,8 @@ struct Args {
     seconds: u64,
     warmup: u64,
     seed: u64,
+    shards: usize,
+    threads: Option<usize>,
     workload: String,
     leases: bool,
     shared_writes: bool,
@@ -93,6 +99,8 @@ fn parse_args() -> Args {
         seconds: 20,
         warmup: 8,
         seed: 7,
+        shards: 0,
+        threads: None,
         workload: "general".into(),
         leases: false,
         shared_writes: false,
@@ -138,6 +146,13 @@ fn parse_args() -> Args {
                 a.warmup = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --warmup"))
             }
             "--seed" => a.seed = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --seed")),
+            "--shards" => {
+                a.shards = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --shards"))
+            }
+            "--threads" => {
+                a.threads =
+                    Some(next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --threads")))
+            }
             "--workload" => a.workload = next(&mut it, &f),
             "--leases" => a.leases = true,
             "--shared-writes" => a.shared_writes = true,
@@ -199,6 +214,11 @@ fn main() {
         "snapshot: {} items ({} dirs, max depth {}); cluster: {} × {}-inode caches; {} clients\n",
         stats.total, stats.dirs, stats.max_depth, a.n_mds, a.cache, a.n_clients
     );
+
+    if a.shards > 0 {
+        run_sharded(&a, cfg, snapshot);
+        return;
+    }
 
     let workload: Box<dyn Workload> = match a.workload.as_str() {
         "general" => Box::new(GeneralWorkload::new(
@@ -307,6 +327,72 @@ fn main() {
             outputs.push(("obs_trace.jsonl", trace));
         }
         for (name, body) in outputs {
+            let path = format!("{}/{name}", a.obs_out);
+            std::fs::write(&path, body).expect("write obs jsonl");
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+/// Per-shard workload builder: each shard gets its own generator over its
+/// own namespace replica, all seeded identically.
+type WorkloadFactory = Box<dyn Fn(&Namespace) -> Box<dyn Workload + Send>>;
+
+/// The `--shards N` path: one run over N event queues with deterministic
+/// cross-shard exchanges. The report/CSV surface is invariant in N.
+fn run_sharded(a: &Args, mut cfg: SimConfig, snapshot: Snapshot) {
+    if cfg.obs.trace {
+        usage("--obs-trace is not supported with --shards (no per-op spans)");
+    }
+    // The legacy --fail/--recover flags fold into the declarative fault
+    // schedule the sharded engine consumes.
+    for &(m, s, recovery) in &a.faults {
+        let (at, mds) = (SimTime::from_secs(s), MdsId(m));
+        cfg.faults.events.push(if recovery {
+            FaultEvent::Recover { at, mds }
+        } else {
+            FaultEvent::Crash { at, mds }
+        });
+    }
+    dynmds_harness::parallel::install_shard_driver();
+
+    let n_clients = a.n_clients as usize;
+    let seed = a.seed;
+    let factory: WorkloadFactory = match a.workload.as_str() {
+        "general" => {
+            let homes = snapshot.user_homes.clone();
+            let shared = snapshot.shared_roots.clone();
+            Box::new(move |ns: &Namespace| {
+                Box::new(GeneralWorkload::new(
+                    WorkloadConfig { seed: seed ^ 0x17, ..Default::default() },
+                    n_clients,
+                    &homes,
+                    &shared,
+                    ns,
+                )) as Box<dyn Workload + Send>
+            })
+        }
+        "hotset" => Box::new(move |ns: &Namespace| {
+            Box::new(HotSetWorkload::new(ns, n_clients, 32, seed ^ 0x17))
+                as Box<dyn Workload + Send>
+        }),
+        other => {
+            usage(&format!("workload {other} is not supported with --shards (use general|hotset)"))
+        }
+    };
+
+    let sim = ShardedSimulation::new(cfg, a.shards, a.threads, snapshot, &*factory);
+    let report =
+        sim.run_measured(SimDuration::from_secs(a.warmup), SimDuration::from_secs(a.seconds));
+    print!("{}", report.render());
+
+    if let Some(export) = &report.obs {
+        println!("\n{}", export.summary);
+        std::fs::create_dir_all(&a.obs_out).expect("create --obs-out dir");
+        for (name, body) in [
+            ("obs_metrics.jsonl", &export.metrics_jsonl),
+            ("obs_snapshots.jsonl", &export.snapshots_jsonl),
+        ] {
             let path = format!("{}/{name}", a.obs_out);
             std::fs::write(&path, body).expect("write obs jsonl");
             eprintln!("wrote {path}");
