@@ -646,10 +646,10 @@ impl Cluster {
                 contributors += 1;
             }
         }
-        if let Ok(ino) = self.ns.inode_mut(id) {
+        let _ = self.ns.update_inode(id, |ino| {
             ino.size = ino.size.saturating_add(adds);
             ino.mtime_us = ino.mtime_us.max(mtime);
-        }
+        });
         self.shared_write_flushes += contributors as u64;
         self.obs.on_shared_flush(contributors as u64);
         contributors
@@ -836,11 +836,16 @@ impl Cluster {
                     touched.push(*f);
                     primary = Some(*f);
                     shared_absorbed = true;
-                } else if let Ok(ino) = self.ns.inode_mut(*f) {
-                    ino.mtime_us = now.as_micros();
-                    if matches!(req.op, Op::Close(_)) {
-                        ino.size = ino.size.saturating_add(4096);
-                    }
+                } else if self
+                    .ns
+                    .update_inode(*f, |ino| {
+                        ino.mtime_us = now.as_micros();
+                        if matches!(req.op, Op::Close(_)) {
+                            ino.size = ino.size.saturating_add(4096);
+                        }
+                    })
+                    .is_ok()
+                {
                     touched.push(*f);
                     primary = Some(*f);
                 }

@@ -207,6 +207,11 @@ pub fn run_torture(args: &[String]) -> i32 {
         args.ops
     );
 
+    // Publish `--threads` process-wide so nested pool fan-outs (shard
+    // stepping inside the cross-check, any later sub-run in this
+    // process) honor it too, not just the top-level map below.
+    dynmds_harness::parallel::set_thread_override(args.threads);
+
     if args.shards > 0 {
         dynmds_harness::parallel::install_shard_driver();
         println!("torture: sharded cross-check on ({} shards vs 1)", args.shards);

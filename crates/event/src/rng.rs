@@ -25,8 +25,16 @@ impl SimRng {
     /// subsystem its own stream so insertion-order changes in one place do
     /// not perturb another.
     pub fn fork(&mut self, salt: u64) -> SimRng {
-        let s = self.rng.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        SimRng::seed_from_u64(s)
+        SimRng::seed_from_u64(self.fork_seed(salt))
+    }
+
+    /// The seed [`fork`](Self::fork) would hand a child generator —
+    /// consumes exactly the same single draw, so callers that need to
+    /// *defer* building the child stream (the streaming snapshot
+    /// generator materializes subtrees long after the fork sequence ran)
+    /// can bank seeds and reconstruct identical streams later.
+    pub fn fork_seed(&mut self, salt: u64) -> u64 {
+        self.rng.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)
     }
 
     /// Uniform integer in `[0, n)`. Panics if `n == 0`.

@@ -20,6 +20,7 @@ pub mod flashrun;
 pub mod hitrate;
 pub mod parallel;
 pub mod params;
+pub mod scalerun;
 pub mod scaling;
 pub mod scirun;
 pub mod shiftrun;
@@ -27,3 +28,4 @@ pub mod shiftrun;
 mod tables_test;
 
 pub use params::ExperimentScale;
+pub use scalerun::{run_scale, scale_table, ScaleParams, ScalePoint};

@@ -50,7 +50,25 @@ fn resolve_workers(
     chosen.min(n_items)
 }
 
-/// Worker count for a run: an explicit override wins, otherwise the
+/// Process-wide thread override installed by `--threads` entry points
+/// (zero means "unset"). The `DYNMDS_THREADS` environment variable is
+/// deliberately read once and cached (mutating the env at runtime races
+/// with concurrent reads), which used to mean a CLI that ran several
+/// sub-runs in one process could not retarget the worker count between
+/// them. CLIs now publish their parsed `--threads` here instead of
+/// touching the environment; a per-call explicit count still wins.
+static PROCESS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs (or with `None` clears) the process-wide worker-count
+/// override. Call from CLI entry points after parsing `--threads`; every
+/// later pool call without a per-call explicit count uses this value in
+/// preference to the cached `DYNMDS_THREADS` / detected parallelism.
+pub fn set_thread_override(threads: Option<usize>) {
+    PROCESS_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Worker count for a run. Precedence: per-call explicit override, then
+/// the process-wide [`set_thread_override`] value, then the
 /// `DYNMDS_THREADS` environment variable (a positive integer — lets
 /// oversubscribed CI machines and reviewers pin reproducible timings),
 /// otherwise the detected parallelism. Both process-level inputs are
@@ -63,6 +81,11 @@ pub(crate) fn worker_count(n_items: usize, explicit: Option<usize>) -> usize {
     let detected = *DETECTED
         .get_or_init(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4));
     let env = ENV.get_or_init(|| std::env::var("DYNMDS_THREADS").ok());
+    let explicit =
+        explicit.filter(|&t| t > 0).or_else(|| match PROCESS_OVERRIDE.load(Ordering::Relaxed) {
+            0 => None,
+            t => Some(t),
+        });
     resolve_workers(n_items, explicit, env.as_deref(), detected)
 }
 
@@ -484,6 +507,44 @@ mod tests {
             });
             assert_eq!(items, (0..41).map(|x| x * 10 + 1).collect::<Vec<_>>(), "{threads:?}");
         }
+    }
+
+    #[test]
+    fn process_override_beats_env_and_yields_to_per_call() {
+        // Regression: `--threads` used to be honored only at the call
+        // sites that happened to thread it through; a multi-sub-run CLI
+        // retargeting the count mid-process (where re-setting
+        // DYNMDS_THREADS is both racy and ignored by the OnceLock cache)
+        // silently kept the old value. The process override closes that
+        // gap. Run the whole scenario in one test so the global override
+        // can be restored before any assertion-free exit path.
+        struct Restore;
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                set_thread_override(None);
+            }
+        }
+        let _restore = Restore;
+
+        set_thread_override(Some(1));
+        // With one worker every entry point runs inline on the caller.
+        let caller = std::thread::current().id();
+        let items: Vec<u64> = (0..32).collect();
+        let seen: Vec<std::thread::ThreadId> =
+            parallel_map(&items, |_| std::thread::current().id());
+        assert!(
+            seen.iter().all(|&t| t == caller),
+            "override Some(1) must run the default-threaded path inline"
+        );
+        assert_eq!(worker_count(32, None), 1, "override reaches worker_count");
+        // A per-call explicit count still beats the process override.
+        assert_eq!(worker_count(32, Some(3)), 3, "per-call explicit wins");
+        // Retargeting mid-process takes effect immediately.
+        set_thread_override(Some(2));
+        assert_eq!(worker_count(32, None), 2, "override is re-readable, not cached");
+        // Clearing restores the env/detected path (≥1 whatever it is).
+        set_thread_override(None);
+        assert!(worker_count(32, None) >= 1);
     }
 
     #[test]

@@ -144,7 +144,7 @@ fn grow_tree(
             let id = ns.create_file(dir, &name, perm).expect("unique name");
             // Long-tailed file sizes: most small, some huge.
             let size = (rng.exponential(64.0 * 1024.0)) as u64;
-            ns.inode_mut(id).expect("just created").size = size;
+            ns.update_inode(id, |ino| ino.size = size).expect("just created");
         }
     }
 }
@@ -156,6 +156,173 @@ fn sample_count(rng: &mut SimRng, mean: f64) -> usize {
         return 0;
     }
     rng.exponential(mean).round() as usize
+}
+
+/// Replays exactly the RNG draws of [`grow_tree`] without building the
+/// tree, returning the number of items it would create (directories plus
+/// files, excluding the tree root itself). Must stay in lock-step with
+/// `grow_tree`: any draw added there must be consumed here too.
+fn count_tree(rng: &mut SimRng, spec: &NamespaceSpec, shared: bool) -> u64 {
+    let n_dirs = sample_count(rng, spec.mean_dirs_per_user);
+    let mut len = 1u64; // `dirs` vector length in grow_tree
+    for _ in 0..n_dirs {
+        let steps = rng.geometric(spec.depth_p);
+        for _ in 0..steps {
+            let lo = len / 2;
+            let _ = rng.range(lo, len);
+        }
+        len += 1; // tree-unique names mean mkdir always succeeds
+    }
+    let mut files = 0u64;
+    for _ in 0..len {
+        let n_files = sample_count(rng, spec.mean_files_per_dir);
+        for _ in 0..n_files {
+            if !shared {
+                let _ = rng.chance(0.3);
+            }
+            let _ = rng.exponential(64.0 * 1024.0);
+        }
+        files += n_files as u64;
+    }
+    n_dirs as u64 + files
+}
+
+/// Streaming snapshot generator: the same deterministic tree as
+/// [`NamespaceSpec::generate`], materialized subtree-by-subtree on demand.
+///
+/// At the scale tier a 10⁸-inode snapshot cannot be built eagerly; but a
+/// simulated client population only ever *touches* the subtrees its
+/// working sets live in. The streaming generator banks one fork seed per
+/// user/shared tree up front (consuming exactly the draw sequence the
+/// eager generator would, so the two are interchangeable) and then grows
+/// each subtree only when asked. Untouched users cost 8 bytes of banked
+/// seed; [`logical_items`](Self::logical_items) still reports the full
+/// logical namespace size by replaying counts from the seeds without
+/// allocating nodes.
+///
+/// Materializing users `0..n` in ascending order followed by shared trees
+/// `0..m` reproduces the eager generator's id assignment exactly;
+/// [`generate_all`](Self::generate_all) does precisely that and is
+/// property-tested equal to [`NamespaceSpec::generate`]. Out-of-order
+/// materialization yields isomorphic subtrees with different ids — fine
+/// within a run, as long as every rerun materializes in the same order.
+pub struct StreamingGenerator {
+    spec: NamespaceSpec,
+    ns: Namespace,
+    home: InodeId,
+    user_seeds: Vec<u64>,
+    shared_seeds: Vec<u64>,
+    user_homes: Vec<Option<InodeId>>,
+    shared_roots: Vec<Option<InodeId>>,
+}
+
+impl StreamingGenerator {
+    /// Sets up `/` and `/home` and banks every subtree seed. No user or
+    /// shared tree is materialized yet.
+    pub fn new(spec: NamespaceSpec) -> Self {
+        assert!(spec.users > 0, "at least one user tree required");
+        assert!(spec.depth_p > 0.0 && spec.depth_p <= 1.0, "depth_p must be in (0, 1]");
+        let mut rng = SimRng::seed_from_u64(spec.seed);
+        let mut ns = Namespace::new();
+        let root = ns.root();
+        let home = ns.mkdir(root, "home", Permissions::directory(0)).expect("fresh tree");
+        // Bank fork seeds in the exact order the eager generator forks.
+        let user_seeds: Vec<u64> = (0..spec.users).map(|u| rng.fork_seed(u as u64)).collect();
+        let shared_seeds: Vec<u64> =
+            (0..spec.shared_trees).map(|s| rng.fork_seed(0x5000 + s as u64)).collect();
+        let user_homes = vec![None; spec.users];
+        let shared_roots = vec![None; spec.shared_trees];
+        StreamingGenerator { spec, ns, home, user_seeds, shared_seeds, user_homes, shared_roots }
+    }
+
+    /// The namespace as materialized so far.
+    pub fn ns(&self) -> &Namespace {
+        &self.ns
+    }
+
+    /// The spec this generator was built from.
+    pub fn spec(&self) -> &NamespaceSpec {
+        &self.spec
+    }
+
+    /// Home directory of user `u` if already materialized.
+    pub fn user_home(&self, u: usize) -> Option<InodeId> {
+        self.user_homes[u]
+    }
+
+    /// Materializes user `u`'s home tree (idempotent) and returns its
+    /// home directory.
+    pub fn materialize_user(&mut self, u: usize) -> InodeId {
+        if let Some(h) = self.user_homes[u] {
+            return h;
+        }
+        let uid = u as u32 + 1;
+        let name = format!("user{u:04}");
+        let h = self.ns.mkdir(self.home, &name, Permissions::directory(uid)).expect("unique name");
+        let mut sub = SimRng::seed_from_u64(self.user_seeds[u]);
+        grow_tree(&mut self.ns, &mut sub, h, uid, &self.spec, false);
+        self.user_homes[u] = Some(h);
+        h
+    }
+
+    /// Materializes shared tree `s` (idempotent) and returns its root.
+    pub fn materialize_shared(&mut self, s: usize) -> InodeId {
+        if let Some(p) = self.shared_roots[s] {
+            return p;
+        }
+        let name = format!("proj{s}");
+        let p = self.ns.mkdir(self.ns.root(), &name, Permissions::directory(0)).expect("unique");
+        let mut sub = SimRng::seed_from_u64(self.shared_seeds[s]);
+        grow_tree(&mut self.ns, &mut sub, p, 0, &self.spec, true);
+        self.shared_roots[s] = Some(p);
+        p
+    }
+
+    /// Items user `u`'s tree holds (home dir included), whether or not it
+    /// is materialized — a pure count replay of the banked seed.
+    pub fn user_items(&self, u: usize) -> u64 {
+        let mut rng = SimRng::seed_from_u64(self.user_seeds[u]);
+        1 + count_tree(&mut rng, &self.spec, false)
+    }
+
+    /// Items shared tree `s` holds (its root included).
+    pub fn shared_items(&self, s: usize) -> u64 {
+        let mut rng = SimRng::seed_from_u64(self.shared_seeds[s]);
+        1 + count_tree(&mut rng, &self.spec, true)
+    }
+
+    /// Total items of the *logical* namespace — what
+    /// [`NamespaceSpec::generate`] would materialize — regardless of how
+    /// much has actually been built. O(users) count replays; call once
+    /// and cache at large scale.
+    pub fn logical_items(&self) -> u64 {
+        let users: u64 = (0..self.spec.users).map(|u| self.user_items(u)).sum();
+        let shared: u64 = (0..self.spec.shared_trees).map(|s| self.shared_items(s)).sum();
+        2 + users + shared // root + /home
+    }
+
+    /// Materializes everything in the eager generator's order and returns
+    /// the identical snapshot.
+    pub fn generate_all(mut self) -> Snapshot {
+        for u in 0..self.spec.users {
+            self.materialize_user(u);
+        }
+        for s in 0..self.spec.shared_trees {
+            self.materialize_shared(s);
+        }
+        self.into_snapshot()
+    }
+
+    /// Converts the partially materialized namespace into a [`Snapshot`].
+    /// `user_homes`/`shared_roots` contain only materialized trees, in
+    /// ascending user/tree order.
+    pub fn into_snapshot(self) -> Snapshot {
+        Snapshot {
+            ns: self.ns,
+            user_homes: self.user_homes.into_iter().flatten().collect(),
+            shared_roots: self.shared_roots.into_iter().flatten().collect(),
+        }
+    }
 }
 
 /// A generated snapshot: the namespace plus the roots the workload
@@ -291,6 +458,70 @@ mod tests {
                 .generate();
         let st = snap.stats();
         assert!(st.max_depth > 3, "expected nesting, got max depth {}", st.max_depth);
+    }
+
+    #[test]
+    fn streaming_matches_eager_generator_exactly() {
+        for seed in [1u64, 7, 99] {
+            let spec = NamespaceSpec { users: 12, shared_trees: 3, seed, ..Default::default() };
+            let eager = spec.generate();
+            let stream = StreamingGenerator::new(spec).generate_all();
+            assert_eq!(stream.user_homes, eager.user_homes);
+            assert_eq!(stream.shared_roots, eager.shared_roots);
+            // Image equality covers ids, names, parents, perms, sizes.
+            assert_eq!(stream.ns.to_image(), eager.ns.to_image());
+        }
+    }
+
+    #[test]
+    fn logical_items_matches_materialized_total() {
+        let spec = NamespaceSpec { users: 9, shared_trees: 2, seed: 31, ..Default::default() };
+        let gen = StreamingGenerator::new(spec.clone());
+        let logical = gen.logical_items();
+        let snap = gen.generate_all();
+        assert_eq!(logical, snap.ns.total_items());
+        assert_eq!(logical, spec.generate().ns.total_items());
+    }
+
+    #[test]
+    fn unmaterialized_users_cost_no_nodes() {
+        let spec = NamespaceSpec::with_target_items(10_000, 500_000, 5);
+        let mut gen = StreamingGenerator::new(spec);
+        // Only / and /home exist before anyone asks for a subtree.
+        assert_eq!(gen.ns().total_items(), 2);
+        let before = gen.ns().heap_bytes();
+        let h = gen.materialize_user(4242);
+        assert!(gen.ns().total_items() > 2);
+        assert_eq!(gen.ns().path_of(h).unwrap(), "/home/user4242");
+        assert_eq!(gen.user_home(4242), Some(h));
+        assert_eq!(gen.user_home(0), None);
+        // Idempotent: second call adds nothing.
+        let items = gen.ns().total_items();
+        assert_eq!(gen.materialize_user(4242), h);
+        assert_eq!(gen.ns().total_items(), items);
+        // Cost scales with what was materialized, not with spec.users.
+        let after = gen.ns().heap_bytes();
+        assert!(after > before);
+        assert_eq!(items - 2, gen.user_items(4242), "count replay matches real subtree");
+    }
+
+    #[test]
+    fn out_of_order_materialization_is_isomorphic() {
+        let spec = NamespaceSpec { users: 6, shared_trees: 1, seed: 77, ..Default::default() };
+        let mut fwd = StreamingGenerator::new(spec.clone());
+        let mut rev = StreamingGenerator::new(spec);
+        for u in 0..6 {
+            fwd.materialize_user(u);
+            rev.materialize_user(5 - u);
+        }
+        for u in 0..6 {
+            let a = fwd.user_home(u).unwrap();
+            let b = rev.user_home(u).unwrap();
+            assert_eq!(fwd.ns().subtree_count(a).unwrap(), rev.ns().subtree_count(b).unwrap());
+            let pa: Vec<String> = fwd.ns().walk(a).map(|i| fwd.ns().path_of(i).unwrap()).collect();
+            let pb: Vec<String> = rev.ns().walk(b).map(|i| rev.ns().path_of(i).unwrap()).collect();
+            assert_eq!(pa, pb, "same user tree regardless of build order");
+        }
     }
 
     #[test]

@@ -73,7 +73,11 @@ impl Permissions {
 }
 
 /// A metadata record for one file, directory, or symlink.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// `Copy` is deliberate: the namespace stores inode fields as columns and
+/// materializes this record by value on access, so the type must be cheap
+/// to pass around.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Inode {
     /// Unique identifier (never reused).
     pub id: InodeId,

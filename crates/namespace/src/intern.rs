@@ -1,0 +1,206 @@
+//! Path-component interner: one `u32` symbol per distinct name.
+//!
+//! At the scale tier (10⁸-inode-class namespaces, ROADMAP item 1) the
+//! dominant memory cost of the old arena tree was per-node heap strings:
+//! a `Box<str>` burns 16 bytes of pointer+len plus a separate allocation
+//! per node, even though real namespaces reuse a tiny vocabulary of
+//! component names (`d003`, `f012_004`, `user0419`, ...). The interner
+//! collapses every occurrence of a name to a dense `u32` symbol backed by
+//! a single append-only byte arena, so the struct-of-arrays
+//! [`Namespace`](crate::Namespace) stores 4 bytes per dentry name and the
+//! vocabulary is paid for once.
+//!
+//! Symbols are assigned in first-intern order and never freed — interning
+//! is monotone, which keeps symbols valid across unlink/rename and makes
+//! symbol comparison stable for the lifetime of the namespace. Ordering
+//! of *names* is still byte-lexicographic via [`resolve`](Interner::resolve);
+//! symbols themselves carry no order.
+
+use crate::fx::FxHashMap;
+
+/// Append-only string interner mapping names to dense `u32` symbols.
+///
+/// Lookup is by 64-bit FNV-1a of the name. Distinct names colliding on
+/// the full 64-bit hash are astronomically rare for path components, but
+/// correctness cannot hinge on that: the map holds the *first* symbol for
+/// each hash and `overflow` holds any later symbols whose names hashed
+/// identically; probes verify bytes and fall through to a linear scan of
+/// the (normally empty) overflow list.
+pub struct Interner {
+    /// Concatenated bytes of every interned name, in symbol order.
+    arena: String,
+    /// `(offset, len)` into `arena` per symbol.
+    spans: Vec<(u32, u32)>,
+    /// fnv64(name) → first symbol with that hash.
+    map: FxHashMap<u64, u32>,
+    /// Symbols whose name hash collided with an earlier distinct name.
+    overflow: Vec<u32>,
+}
+
+/// 64-bit FNV-1a over the raw bytes of a name.
+#[inline]
+fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in s.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner {
+            arena: String::new(),
+            spans: Vec::new(),
+            map: FxHashMap::default(),
+            overflow: Vec::new(),
+        }
+    }
+
+    /// Returns the symbol for `name`, assigning the next dense symbol on
+    /// first sight. Identical names always return identical symbols.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        let h = fnv64(name);
+        if let Some(&sym) = self.map.get(&h) {
+            if self.resolve(sym) == name {
+                return sym;
+            }
+            // 64-bit hash collision between distinct names: check the
+            // overflow list before minting a new symbol.
+            for &sym in &self.overflow {
+                if self.resolve(sym) == name {
+                    return sym;
+                }
+            }
+            let sym = self.push(name);
+            self.overflow.push(sym);
+            return sym;
+        }
+        let sym = self.push(name);
+        self.map.insert(h, sym);
+        sym
+    }
+
+    /// Returns the symbol for `name` if it has been interned, without
+    /// assigning one.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        let h = fnv64(name);
+        let &sym = self.map.get(&h)?;
+        if self.resolve(sym) == name {
+            return Some(sym);
+        }
+        self.overflow.iter().copied().find(|&s| self.resolve(s) == name)
+    }
+
+    fn push(&mut self, name: &str) -> u32 {
+        let sym = u32::try_from(self.spans.len()).expect("interner symbol space exhausted");
+        let off = u32::try_from(self.arena.len()).expect("interner arena exceeds 4 GiB");
+        let len = u32::try_from(name.len()).expect("name longer than u32");
+        self.arena.push_str(name);
+        self.spans.push((off, len));
+        sym
+    }
+
+    /// The name behind `sym`. Panics on an out-of-range symbol.
+    #[inline]
+    pub fn resolve(&self, sym: u32) -> &str {
+        let (off, len) = self.spans[sym as usize];
+        &self.arena[off as usize..(off + len) as usize]
+    }
+
+    /// Number of distinct names interned.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no names have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Heap bytes held: arena, span table, hash map, overflow list.
+    /// Counts capacities (what the allocator actually handed out), not
+    /// lengths, so it matches RSS-facing accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.arena.capacity()
+            + self.spans.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.map.capacity() * std::mem::size_of::<(u64, u32)>()
+            + self.overflow.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Interner::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_resolves_original_names() {
+        let mut it = Interner::new();
+        let names = ["", "home", "user0001", "f012_004", "a-very-long-component-name"];
+        let syms: Vec<u32> = names.iter().map(|n| it.intern(n)).collect();
+        for (name, &sym) in names.iter().zip(&syms) {
+            assert_eq!(it.resolve(sym), *name);
+        }
+        assert_eq!(it.len(), names.len());
+    }
+
+    #[test]
+    fn identical_names_share_a_symbol() {
+        let mut it = Interner::new();
+        let a = it.intern("notes.txt");
+        let b = it.intern("other");
+        let c = it.intern("notes.txt");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn symbols_are_dense_and_first_come() {
+        let mut it = Interner::new();
+        assert_eq!(it.intern("x"), 0);
+        assert_eq!(it.intern("y"), 1);
+        assert_eq!(it.intern("x"), 0);
+        assert_eq!(it.intern("z"), 2);
+    }
+
+    #[test]
+    fn get_does_not_mint_symbols() {
+        let mut it = Interner::new();
+        assert_eq!(it.get("missing"), None);
+        let s = it.intern("present");
+        assert_eq!(it.get("present"), Some(s));
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn many_distinct_names_stay_unique() {
+        let mut it = Interner::new();
+        let syms: Vec<u32> = (0..10_000).map(|i| it.intern(&format!("n{i:05}"))).collect();
+        let set: std::collections::HashSet<u32> = syms.iter().copied().collect();
+        assert_eq!(set.len(), 10_000, "distinct names must get distinct symbols");
+        for (i, &sym) in syms.iter().enumerate() {
+            assert_eq!(it.resolve(sym), format!("n{i:05}"));
+        }
+    }
+
+    #[test]
+    fn heap_bytes_grows_with_content() {
+        let mut it = Interner::new();
+        let empty = it.heap_bytes();
+        for i in 0..1000 {
+            it.intern(&format!("component-{i}"));
+        }
+        assert!(it.heap_bytes() > empty);
+        // Sanity: well under a kilobyte per short name.
+        assert!(it.heap_bytes() < 1000 * 1024);
+    }
+}

@@ -7,11 +7,10 @@
 //! secondary hard-link dentries.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 use crate::ids::InodeId;
 use crate::inode::{FileType, Inode, Permissions};
-use crate::tree::{Namespace, NamespaceError, Node};
+use crate::tree::{Namespace, NamespaceError, NONE_U32};
 
 /// One arena slot in the image; `None` is a tombstone.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -79,36 +78,38 @@ impl std::error::Error for ImportError {}
 impl Namespace {
     /// Exports a lossless image of this namespace.
     pub fn to_image(&self) -> NamespaceImage {
-        let mut slots = Vec::with_capacity(self.nodes.len());
+        let bound = self.id_bound() as usize;
+        let mut slots = Vec::with_capacity(bound);
         let mut extra_links = Vec::new();
-        for (idx, node) in self.nodes.iter().enumerate() {
-            if !node.alive {
+        for idx in 0..bound {
+            let id = InodeId(idx as u64);
+            let Ok(ino) = self.inode(id) else {
                 slots.push(None);
                 continue;
-            }
-            let ftype = match node.inode.ftype {
+            };
+            let ftype = match ino.ftype {
                 FileType::File => 0u8,
                 FileType::Directory => 1,
                 FileType::Symlink => 2,
             };
             slots.push(Some(NodeImage {
-                parent: node.parent.map(|p| p.0),
-                name: node.name.to_string(),
+                parent: self.parent(id).expect("live").map(|p| p.0),
+                name: self.name(id).expect("live").to_string(),
                 ftype,
-                uid: node.inode.perm.uid,
-                mode: node.inode.perm.mode,
-                size: node.inode.size,
-                mtime_us: node.inode.mtime_us,
-                nlink: node.inode.nlink,
+                uid: ino.perm.uid,
+                mode: ino.perm.mode,
+                size: ino.size,
+                mtime_us: ino.mtime_us,
+                nlink: ino.nlink,
             }));
             // Secondary dentries: children entries whose primary home is
             // elsewhere.
-            if let Some(children) = &node.children {
-                for (name, &child) in children {
-                    let c = &self.nodes[child.index()];
-                    let primary = c.parent == Some(InodeId(idx as u64)) && *c.name == **name;
+            if let Ok(kids) = self.children_syms(id) {
+                for (sym, child) in kids {
+                    let c = child.index();
+                    let primary = self.parent[c] == idx as u32 && self.name_sym[c] == sym;
                     if !primary {
-                        extra_links.push((idx as u64, name.to_string(), child.0));
+                        extra_links.push((idx as u64, self.resolve_sym(sym).to_string(), child.0));
                     }
                 }
             }
@@ -122,22 +123,16 @@ impl Namespace {
             return Err(ImportError::BadRoot);
         }
         // Pass 1: allocate all slots.
-        let mut nodes: Vec<Node> = Vec::with_capacity(image.slots.len());
+        let mut ns = Namespace::raw_empty();
         let mut live_files = 0u64;
         let mut live_dirs = 0u64;
         for (idx, slot) in image.slots.iter().enumerate() {
+            let id = InodeId(idx as u64);
             match slot {
-                None => nodes.push(Node {
-                    parent: None,
-                    name: "".into(),
-                    inode: Inode::new(
-                        InodeId(idx as u64),
-                        FileType::File,
-                        Permissions { uid: 0, mode: 0 },
-                    ),
-                    children: None,
-                    alive: false,
-                }),
+                None => {
+                    let tomb = Inode::new(id, FileType::File, Permissions { uid: 0, mode: 0 });
+                    ns.push_slot(None, "", &tomb, false);
+                }
                 Some(img) => {
                     let ftype = match img.ftype {
                         0 => FileType::File,
@@ -145,11 +140,8 @@ impl Namespace {
                         2 => FileType::Symlink,
                         _ => return Err(ImportError::BadKind),
                     };
-                    let mut inode = Inode::new(
-                        InodeId(idx as u64),
-                        ftype,
-                        Permissions { uid: img.uid, mode: img.mode },
-                    );
+                    let mut inode =
+                        Inode::new(id, ftype, Permissions { uid: img.uid, mode: img.mode });
                     inode.size = img.size;
                     inode.mtime_us = img.mtime_us;
                     inode.nlink = img.nlink;
@@ -158,33 +150,34 @@ impl Namespace {
                     } else {
                         live_files += 1;
                     }
-                    nodes.push(Node {
-                        parent: img.parent.map(InodeId),
-                        name: img.name.as_str().into(),
-                        inode,
-                        children: ftype.is_dir().then(BTreeMap::new),
-                        alive: true,
-                    });
+                    // Parents beyond the arena are caught in pass 2 before
+                    // the namespace can escape with a truncated column.
+                    let parent = img.parent.filter(|&p| p < image.slots.len() as u64).map(InodeId);
+                    ns.push_slot(parent, &img.name, &inode, true);
                 }
             }
         }
         // Root checks.
-        if !nodes[0].alive || nodes[0].parent.is_some() || !nodes[0].inode.ftype.is_dir() {
+        let root_ok = matches!(
+            &image.slots[0],
+            Some(img) if img.parent.is_none() && img.ftype == 1
+        );
+        if !root_ok {
             return Err(ImportError::BadRoot);
         }
         // Pass 2: primary dentries.
-        for idx in 0..nodes.len() {
-            if !nodes[idx].alive {
-                continue;
-            }
-            let Some(parent) = nodes[idx].parent else { continue };
-            let p = parent.index();
-            if p >= nodes.len() || !nodes[p].alive {
+        for (idx, slot) in image.slots.iter().enumerate() {
+            let Some(img) = slot else { continue };
+            let Some(parent) = img.parent else { continue };
+            let p = parent as usize;
+            if p >= image.slots.len() || image.slots[p].is_none() {
                 return Err(ImportError::BadParent);
             }
-            let name: Box<str> = nodes[idx].name.clone();
-            let map = nodes[p].children.as_mut().ok_or(ImportError::ParentNotDir)?;
-            if map.insert(name, InodeId(idx as u64)).is_some() {
+            let ti = ns.childtab[p];
+            if ti == NONE_U32 {
+                return Err(ImportError::ParentNotDir);
+            }
+            if !ns.dentry_insert(ti as usize, &img.name, idx as u32) {
                 return Err(ImportError::DuplicateName);
             }
         }
@@ -192,18 +185,26 @@ impl Namespace {
         for (dir, name, target) in &image.extra_links {
             let d = *dir as usize;
             let t = *target as usize;
-            if d >= nodes.len() || t >= nodes.len() || !nodes[t].alive {
+            if d >= image.slots.len()
+                || t >= image.slots.len()
+                || image.slots[t].is_none()
+                || image.slots[d].is_none()
+            {
                 return Err(ImportError::BadLink);
             }
-            let map = match nodes.get_mut(d).filter(|n| n.alive) {
-                Some(n) => n.children.as_mut().ok_or(ImportError::ParentNotDir)?,
-                None => return Err(ImportError::BadLink),
-            };
-            if map.insert(name.as_str().into(), InodeId(t as u64)).is_some() {
+            let ti = ns.childtab[d];
+            if ti == NONE_U32 {
+                return Err(ImportError::ParentNotDir);
+            }
+            if !ns.dentry_insert(ti as usize, name, t as u32) {
                 return Err(ImportError::DuplicateName);
             }
         }
-        Ok(Namespace { nodes, root: InodeId(0), live_files, live_dirs, move_epoch: 0 })
+        ns.root = InodeId(0);
+        ns.live_files = live_files;
+        ns.live_dirs = live_dirs;
+        ns.move_epoch = 0;
+        Ok(ns)
     }
 
     /// Structural self-check used after imports and in tests: parents are

@@ -1,20 +1,26 @@
-//! The namespace tree: an arena of embedded-inode directory entries.
+//! The namespace tree: struct-of-arrays storage with interned names.
 //!
 //! Nodes are addressed by [`InodeId`], which doubles as the arena index.
-//! Ids are never reused; unlinked nodes are tombstoned. Directory children
-//! are kept in a `BTreeMap` so iteration order — and therefore every
-//! simulation that walks the tree — is deterministic.
+//! Ids are never reused; unlinked nodes are tombstoned. Unlike the
+//! original arena-of-structs layout, every field lives in its own dense
+//! column and dentry names are interned `u32` symbols, so a node costs
+//! ~39 bytes of column data plus its share of the directory tables —
+//! the layout the 10⁸-inode scale tier (ROADMAP item 1) needs to fit in
+//! memory. Directory children are kept in per-directory tables sorted by
+//! name bytes, so iteration order — and therefore every simulation that
+//! walks the tree — is deterministic and identical to the previous
+//! `BTreeMap<Box<str>, _>` representation.
 //!
 //! Hard links are supported the way the paper treats them (§4.5): every
 //! inode has one *primary* dentry (where the inode is embedded); additional
 //! links are plain name→id entries, and the storage layer's anchor table is
 //! responsible for locating multiply-linked inodes.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::ids::InodeId;
 use crate::inode::{FileType, Inode, Permissions};
+use crate::intern::Interner;
 
 /// Errors from namespace operations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,20 +55,63 @@ impl fmt::Display for NamespaceError {
 
 impl std::error::Error for NamespaceError {}
 
-pub(crate) struct Node {
-    /// Primary parent directory; `None` for the root and for tombstones.
-    pub(crate) parent: Option<InodeId>,
-    /// Name of the primary dentry within `parent`.
-    pub(crate) name: Box<str>,
-    pub(crate) inode: Inode,
-    /// `Some` for directories.
-    pub(crate) children: Option<BTreeMap<Box<str>, InodeId>>,
-    pub(crate) alive: bool,
+/// Column sentinel for "no parent" / "no directory table".
+pub(crate) const NONE_U32: u32 = u32::MAX;
+
+/// `flags` column: low two bits encode [`FileType`], bit 2 is liveness.
+const FLAG_ALIVE: u8 = 0b100;
+const FTYPE_MASK: u8 = 0b011;
+
+#[inline]
+fn ftype_code(ft: FileType) -> u8 {
+    match ft {
+        FileType::File => 0,
+        FileType::Directory => 1,
+        FileType::Symlink => 2,
+    }
 }
 
-/// The file-system hierarchy.
+#[inline]
+fn ftype_decode(flags: u8) -> FileType {
+    match flags & FTYPE_MASK {
+        0 => FileType::File,
+        1 => FileType::Directory,
+        _ => FileType::Symlink,
+    }
+}
+
+/// One sorted dentry: interned name symbol plus child slot.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DirEnt {
+    pub(crate) sym: u32,
+    pub(crate) child: u32,
+}
+
+/// The file-system hierarchy, stored as parallel columns indexed by
+/// [`InodeId`].
 pub struct Namespace {
-    pub(crate) nodes: Vec<Node>,
+    /// Interned dentry-name vocabulary shared by all columns.
+    pub(crate) names: Interner,
+    /// Primary parent slot; [`NONE_U32`] for the root and tombstones.
+    pub(crate) parent: Vec<u32>,
+    /// Interned name of the primary dentry.
+    pub(crate) name_sym: Vec<u32>,
+    /// File type + liveness bits.
+    pub(crate) flags: Vec<u8>,
+    /// Owning uid.
+    pub(crate) uid: Vec<u32>,
+    /// Mode bits.
+    pub(crate) mode: Vec<u16>,
+    /// File size in bytes.
+    pub(crate) size: Vec<u64>,
+    /// Last-modification time, simulator microseconds.
+    pub(crate) mtime_us: Vec<u64>,
+    /// Hard-link count.
+    pub(crate) nlink: Vec<u32>,
+    /// Index into `tables` for directories; [`NONE_U32`] otherwise.
+    pub(crate) childtab: Vec<u32>,
+    /// Per-directory dentry tables, each sorted by name bytes.
+    pub(crate) tables: Vec<Vec<DirEnt>>,
     pub(crate) root: InodeId,
     pub(crate) live_files: u64,
     pub(crate) live_dirs: u64,
@@ -80,15 +129,106 @@ impl Namespace {
     /// Creates a namespace containing only the root directory, owned by
     /// uid 0.
     pub fn new() -> Self {
+        let mut ns = Namespace::raw_empty();
         let root_id = InodeId(0);
-        let root = Node {
-            parent: None,
-            name: "".into(),
-            inode: Inode::new(root_id, FileType::Directory, Permissions::directory(0)),
-            children: Some(BTreeMap::new()),
-            alive: true,
-        };
-        Namespace { nodes: vec![root], root: root_id, live_files: 0, live_dirs: 1, move_epoch: 0 }
+        let root = Inode::new(root_id, FileType::Directory, Permissions::directory(0));
+        ns.push_slot(None, "", &root, true);
+        ns.live_dirs = 1;
+        ns
+    }
+
+    /// An entirely empty column set — no root. Only the persistence layer
+    /// uses this, to rebuild arbitrary slot layouts from an image.
+    pub(crate) fn raw_empty() -> Self {
+        Namespace {
+            names: Interner::new(),
+            parent: Vec::new(),
+            name_sym: Vec::new(),
+            flags: Vec::new(),
+            uid: Vec::new(),
+            mode: Vec::new(),
+            size: Vec::new(),
+            mtime_us: Vec::new(),
+            nlink: Vec::new(),
+            childtab: Vec::new(),
+            tables: Vec::new(),
+            root: InodeId(0),
+            live_files: 0,
+            live_dirs: 0,
+            move_epoch: 0,
+        }
+    }
+
+    /// Appends one arena slot with the given fields, without touching any
+    /// dentry table or live counter. `id` must equal the new slot index.
+    pub(crate) fn push_slot(
+        &mut self,
+        parent: Option<InodeId>,
+        name: &str,
+        ino: &Inode,
+        alive: bool,
+    ) {
+        let idx = self.parent.len();
+        assert!(idx < NONE_U32 as usize, "namespace exceeds the u32 slot space");
+        debug_assert_eq!(ino.id.index(), idx);
+        let sym = self.names.intern(name);
+        self.parent.push(parent.map(|p| p.0 as u32).unwrap_or(NONE_U32));
+        self.name_sym.push(sym);
+        self.flags.push(ftype_code(ino.ftype) | if alive { FLAG_ALIVE } else { 0 });
+        self.uid.push(ino.perm.uid);
+        self.mode.push(ino.perm.mode);
+        self.size.push(ino.size);
+        self.mtime_us.push(ino.mtime_us);
+        self.nlink.push(ino.nlink);
+        if ino.ftype.is_dir() {
+            let t = u32::try_from(self.tables.len()).expect("directory table index overflow");
+            self.tables.push(Vec::new());
+            self.childtab.push(t);
+        } else {
+            self.childtab.push(NONE_U32);
+        }
+    }
+
+    /// Sorted-position lookup of `name` in directory table `ti`.
+    #[inline]
+    fn find_in(&self, ti: usize, name: &str) -> Result<usize, usize> {
+        let names = &self.names;
+        self.tables[ti].binary_search_by(|e| names.resolve(e.sym).cmp(name))
+    }
+
+    /// Inserts `name → child` into directory table `ti`, keeping it
+    /// sorted. Returns `false` (and inserts nothing) on a duplicate name.
+    pub(crate) fn dentry_insert(&mut self, ti: usize, name: &str, child: u32) -> bool {
+        match self.find_in(ti, name) {
+            Ok(_) => false,
+            Err(pos) => {
+                let sym = self.names.intern(name);
+                self.tables[ti].insert(pos, DirEnt { sym, child });
+                true
+            }
+        }
+    }
+
+    /// Live slot index for `id`.
+    #[inline]
+    fn check(&self, id: InodeId) -> Result<usize, NamespaceError> {
+        let i = id.index();
+        if i < self.flags.len() && self.flags[i] & FLAG_ALIVE != 0 {
+            Ok(i)
+        } else {
+            Err(NamespaceError::NotFound)
+        }
+    }
+
+    /// Directory table index for a live directory `dir`.
+    #[inline]
+    fn dir_table(&self, dir: InodeId) -> Result<usize, NamespaceError> {
+        let i = self.check(dir)?;
+        let t = self.childtab[i];
+        if t == NONE_U32 {
+            return Err(NamespaceError::NotADirectory);
+        }
+        Ok(t as usize)
     }
 
     /// Monotonic counter of primary-dentry moves (see the field doc); the
@@ -119,45 +259,78 @@ impl Namespace {
 
     /// Highest id ever allocated plus one (arena size).
     pub fn id_bound(&self) -> u64 {
-        self.nodes.len() as u64
-    }
-
-    fn node(&self, id: InodeId) -> Result<&Node, NamespaceError> {
-        self.nodes.get(id.index()).filter(|n| n.alive).ok_or(NamespaceError::NotFound)
-    }
-
-    fn node_mut(&mut self, id: InodeId) -> Result<&mut Node, NamespaceError> {
-        self.nodes.get_mut(id.index()).filter(|n| n.alive).ok_or(NamespaceError::NotFound)
+        self.parent.len() as u64
     }
 
     /// Whether `id` refers to a live entry.
     pub fn is_alive(&self, id: InodeId) -> bool {
-        self.nodes.get(id.index()).map(|n| n.alive).unwrap_or(false)
+        self.check(id).is_ok()
     }
 
-    /// The inode record for `id`.
-    pub fn inode(&self, id: InodeId) -> Result<&Inode, NamespaceError> {
-        self.node(id).map(|n| &n.inode)
+    /// The inode record for `id`, materialized from the columns.
+    pub fn inode(&self, id: InodeId) -> Result<Inode, NamespaceError> {
+        let i = self.check(id)?;
+        Ok(Inode {
+            id,
+            ftype: ftype_decode(self.flags[i]),
+            perm: Permissions { uid: self.uid[i], mode: self.mode[i] },
+            size: self.size[i],
+            mtime_us: self.mtime_us[i],
+            nlink: self.nlink[i],
+        })
     }
 
-    /// Mutable inode record for `id`.
-    pub fn inode_mut(&mut self, id: InodeId) -> Result<&mut Inode, NamespaceError> {
-        self.node_mut(id).map(|n| &mut n.inode)
+    /// Applies `f` to the inode record of `id` and writes the mutable
+    /// fields (permissions, size, mtime, nlink) back to the columns. The
+    /// id and file type are fixed at creation; changes to them are
+    /// ignored. This replaces the old `inode_mut` accessor, which cannot
+    /// exist over column storage.
+    pub fn update_inode<R>(
+        &mut self,
+        id: InodeId,
+        f: impl FnOnce(&mut Inode) -> R,
+    ) -> Result<R, NamespaceError> {
+        let i = self.check(id)?;
+        let mut ino = self.inode(id)?;
+        let r = f(&mut ino);
+        self.uid[i] = ino.perm.uid;
+        self.mode[i] = ino.perm.mode;
+        self.size[i] = ino.size;
+        self.mtime_us[i] = ino.mtime_us;
+        self.nlink[i] = ino.nlink;
+        Ok(r)
     }
 
     /// Primary parent directory of `id` (`None` for the root).
     pub fn parent(&self, id: InodeId) -> Result<Option<InodeId>, NamespaceError> {
-        self.node(id).map(|n| n.parent)
+        let i = self.check(id)?;
+        let p = self.parent[i];
+        Ok((p != NONE_U32).then_some(InodeId(p as u64)))
     }
 
     /// Name of the primary dentry of `id` (empty for the root).
     pub fn name(&self, id: InodeId) -> Result<&str, NamespaceError> {
-        self.node(id).map(|n| &*n.name)
+        let i = self.check(id)?;
+        Ok(self.names.resolve(self.name_sym[i]))
+    }
+
+    /// Interned symbol of the primary dentry name of `id`. Symbols are
+    /// stable for the life of the namespace and equal symbols mean equal
+    /// names, so hot paths can compare/hash names without touching bytes.
+    pub fn name_sym(&self, id: InodeId) -> Result<u32, NamespaceError> {
+        let i = self.check(id)?;
+        Ok(self.name_sym[i])
+    }
+
+    /// The name behind an interned symbol obtained from
+    /// [`name_sym`](Self::name_sym) or [`children_syms`](Self::children_syms).
+    pub fn resolve_sym(&self, sym: u32) -> &str {
+        self.names.resolve(sym)
     }
 
     /// Whether `id` is a directory.
     pub fn is_dir(&self, id: InodeId) -> bool {
-        self.node(id).map(|n| n.inode.ftype.is_dir()).unwrap_or(false)
+        self.check(id).map(|i| self.flags[i] & FTYPE_MASK == 1).unwrap_or(false)
     }
 
     /// Iterates `(name, child_id)` over a directory, in name order.
@@ -165,22 +338,36 @@ impl Namespace {
         &self,
         dir: InodeId,
     ) -> Result<impl Iterator<Item = (&str, InodeId)> + '_, NamespaceError> {
-        let n = self.node(dir)?;
-        let map = n.children.as_ref().ok_or(NamespaceError::NotADirectory)?;
-        Ok(map.iter().map(|(k, v)| (&**k, *v)))
+        let ti = self.dir_table(dir)?;
+        Ok(self.tables[ti]
+            .iter()
+            .map(move |e| (self.names.resolve(e.sym), InodeId(e.child as u64))))
+    }
+
+    /// Iterates `(name_symbol, child_id)` over a directory, in name order,
+    /// without resolving name bytes — the traversal hot path for consumers
+    /// that only compare or hash names.
+    pub fn children_syms(
+        &self,
+        dir: InodeId,
+    ) -> Result<impl Iterator<Item = (u32, InodeId)> + '_, NamespaceError> {
+        let ti = self.dir_table(dir)?;
+        Ok(self.tables[ti].iter().map(|e| (e.sym, InodeId(e.child as u64))))
     }
 
     /// Number of entries in a directory.
     pub fn child_count(&self, dir: InodeId) -> Result<usize, NamespaceError> {
-        let n = self.node(dir)?;
-        n.children.as_ref().map(|m| m.len()).ok_or(NamespaceError::NotADirectory)
+        let ti = self.dir_table(dir)?;
+        Ok(self.tables[ti].len())
     }
 
     /// Looks up `name` in `dir`.
     pub fn lookup(&self, dir: InodeId, name: &str) -> Result<InodeId, NamespaceError> {
-        let n = self.node(dir)?;
-        let map = n.children.as_ref().ok_or(NamespaceError::NotADirectory)?;
-        map.get(name).copied().ok_or(NamespaceError::NotFound)
+        let ti = self.dir_table(dir)?;
+        match self.find_in(ti, name) {
+            Ok(pos) => Ok(InodeId(self.tables[ti][pos].child as u64)),
+            Err(_) => Err(NamespaceError::NotFound),
+        }
     }
 
     /// Resolves an absolute `/`-separated path to an id.
@@ -194,27 +381,71 @@ impl Namespace {
 
     /// The absolute path of the primary dentry of `id`.
     pub fn path_of(&self, id: InodeId) -> Result<String, NamespaceError> {
-        let mut comps: Vec<&str> = Vec::new();
-        let mut cur = self.node(id)?;
-        while let Some(p) = cur.parent {
-            comps.push(&cur.name);
-            cur = self.node(p)?;
+        let mut syms: Vec<u32> = Vec::new();
+        let mut i = self.check(id)?;
+        while self.parent[i] != NONE_U32 {
+            syms.push(self.name_sym[i]);
+            i = self.check(InodeId(self.parent[i] as u64))?;
         }
-        if comps.is_empty() {
+        if syms.is_empty() {
             return Ok("/".to_string());
         }
         let mut out = String::new();
-        for c in comps.iter().rev() {
+        for &s in syms.iter().rev() {
             out.push('/');
-            out.push_str(c);
+            out.push_str(self.names.resolve(s));
         }
         Ok(out)
+    }
+
+    /// Calls `f` once per path component of `id`'s primary path, **root
+    /// first** — the same components [`path_of`](Self::path_of) would join
+    /// with `/`, but without building a `String`. The root itself has zero
+    /// components. Returns the component count. Deep paths beyond a small
+    /// inline buffer spill to a heap allocation.
+    pub fn visit_path<F: FnMut(&str)>(
+        &self,
+        id: InodeId,
+        mut f: F,
+    ) -> Result<usize, NamespaceError> {
+        let mut head = [0u32; 32];
+        let mut n = 0usize;
+        let mut spill: Vec<u32> = Vec::new();
+        let mut i = self.check(id)?;
+        while self.parent[i] != NONE_U32 {
+            let s = self.name_sym[i];
+            if n < head.len() {
+                head[n] = s;
+            } else {
+                spill.push(s);
+            }
+            n += 1;
+            i = self.check(InodeId(self.parent[i] as u64))?;
+        }
+        for &s in spill.iter().rev() {
+            f(self.names.resolve(s));
+        }
+        for k in (0..n.min(head.len())).rev() {
+            f(self.names.resolve(head[k]));
+        }
+        Ok(n)
+    }
+
+    /// Raw parent pointer, ignoring liveness (tombstones have none).
+    #[inline]
+    fn parent_raw(&self, id: InodeId) -> Option<InodeId> {
+        let i = id.index();
+        if i < self.parent.len() && self.parent[i] != NONE_U32 {
+            Some(InodeId(self.parent[i] as u64))
+        } else {
+            None
+        }
     }
 
     /// Ancestors of `id`, nearest first, ending with the root. The entry
     /// itself is not included.
     pub fn ancestors(&self, id: InodeId) -> AncestorIter<'_> {
-        let next = self.nodes.get(id.index()).filter(|n| n.alive).and_then(|n| n.parent);
+        let next = if self.check(id).is_ok() { self.parent_raw(id) } else { None };
         AncestorIter { ns: self, next }
     }
 
@@ -230,20 +461,13 @@ impl Namespace {
 
     /// Depth of `id` below the root (root is depth 0).
     pub fn depth(&self, id: InodeId) -> Result<usize, NamespaceError> {
-        self.node(id)?;
+        self.check(id)?;
         Ok(self.ancestors(id).count())
     }
 
     /// Whether `anc` is a strict ancestor of `id`.
     pub fn is_ancestor(&self, anc: InodeId, id: InodeId) -> bool {
         self.ancestors(id).any(|a| a == anc)
-    }
-
-    fn alloc(&mut self, node: Node) -> InodeId {
-        let id = InodeId(self.nodes.len() as u64);
-        debug_assert_eq!(node.inode.id, id);
-        self.nodes.push(node);
-        id
     }
 
     fn insert_child(
@@ -253,22 +477,15 @@ impl Namespace {
         ftype: FileType,
         perm: Permissions,
     ) -> Result<InodeId, NamespaceError> {
-        let n = self.node(dir)?;
-        let map = n.children.as_ref().ok_or(NamespaceError::NotADirectory)?;
-        if map.contains_key(name) {
+        let ti = self.dir_table(dir)?;
+        if self.find_in(ti, name).is_ok() {
             return Err(NamespaceError::AlreadyExists);
         }
-        let id = InodeId(self.nodes.len() as u64);
-        let children = if ftype.is_dir() { Some(BTreeMap::new()) } else { None };
-        self.alloc(Node {
-            parent: Some(dir),
-            name: name.into(),
-            inode: Inode::new(id, ftype, perm),
-            children,
-            alive: true,
-        });
-        let map = self.nodes[dir.index()].children.as_mut().expect("checked directory above");
-        map.insert(name.into(), id);
+        let id = InodeId(self.parent.len() as u64);
+        let ino = Inode::new(id, ftype, perm);
+        self.push_slot(Some(dir), name, &ino, true);
+        let inserted = self.dentry_insert(ti, name, id.0 as u32);
+        debug_assert!(inserted, "checked for duplicates above");
         if ftype.is_dir() {
             self.live_dirs += 1;
         } else {
@@ -316,20 +533,16 @@ impl Namespace {
         dir: InodeId,
         name: &str,
     ) -> Result<(), NamespaceError> {
-        if self.node(target)?.inode.ftype.is_dir() {
+        let t = self.check(target)?;
+        if self.flags[t] & FTYPE_MASK == 1 {
             return Err(NamespaceError::IsADirectory);
         }
-        let d = self.node(dir)?;
-        let map = d.children.as_ref().ok_or(NamespaceError::NotADirectory)?;
-        if map.contains_key(name) {
+        let ti = self.dir_table(dir)?;
+        if self.find_in(ti, name).is_ok() {
             return Err(NamespaceError::AlreadyExists);
         }
-        self.nodes[dir.index()]
-            .children
-            .as_mut()
-            .expect("checked directory above")
-            .insert(name.into(), target);
-        self.nodes[target.index()].inode.nlink += 1;
+        self.dentry_insert(ti, name, target.0 as u32);
+        self.nlink[t] += 1;
         Ok(())
     }
 
@@ -337,24 +550,26 @@ impl Namespace {
     /// secondary hard link just drops the dentry; the inode dies when its
     /// last link is removed. Returns the id the dentry referred to.
     pub fn unlink(&mut self, dir: InodeId, name: &str) -> Result<InodeId, NamespaceError> {
-        let id = self.lookup(dir, name)?;
-        let target = self.node(id)?;
-        let is_dir = target.inode.ftype.is_dir();
+        let ti = self.dir_table(dir)?;
+        let pos = self.find_in(ti, name).map_err(|_| NamespaceError::NotFound)?;
+        let ent = self.tables[ti][pos];
+        let id = InodeId(ent.child as u64);
+        let i = self.check(id)?;
+        let is_dir = self.flags[i] & FTYPE_MASK == 1;
+        let was_primary = self.parent[i] == dir.0 as u32 && self.name_sym[i] == ent.sym;
         if is_dir {
-            if target.parent != Some(dir) || &*target.name != name {
+            if !was_primary {
                 return Err(NamespaceError::NotFound);
             }
-            if target.children.as_ref().map(|m| !m.is_empty()).unwrap_or(false) {
+            if !self.tables[self.childtab[i] as usize].is_empty() {
                 return Err(NamespaceError::NotEmpty);
             }
         }
-        self.nodes[dir.index()].children.as_mut().expect("dir checked by lookup").remove(name);
-        let node = &mut self.nodes[id.index()];
-        node.inode.nlink -= 1;
-        let was_primary = node.parent == Some(dir) && &*node.name == name;
-        if node.inode.nlink == 0 {
-            node.alive = false;
-            node.parent = None;
+        self.tables[ti].remove(pos);
+        self.nlink[i] -= 1;
+        if self.nlink[i] == 0 {
+            self.flags[i] &= !FLAG_ALIVE;
+            self.parent[i] = NONE_U32;
             if is_dir {
                 self.live_dirs -= 1;
             } else {
@@ -362,10 +577,9 @@ impl Namespace {
             }
         } else if was_primary {
             // Promote some surviving link to primary so path_of stays total.
-            if let Some((p, n)) = self.find_any_link(id) {
-                let node = &mut self.nodes[id.index()];
-                node.parent = Some(p);
-                node.name = n;
+            if let Some((p, sym)) = self.find_any_link(id) {
+                self.parent[i] = p.0 as u32;
+                self.name_sym[i] = sym;
                 self.move_epoch += 1;
             }
         }
@@ -374,16 +588,16 @@ impl Namespace {
 
     /// Finds any surviving dentry referring to `id` (O(tree); hard links
     /// are rare, per the paper, so this never shows up in profiles).
-    fn find_any_link(&self, id: InodeId) -> Option<(InodeId, Box<str>)> {
-        for (idx, n) in self.nodes.iter().enumerate() {
-            if !n.alive {
+    /// Returns the directory and the interned dentry name.
+    fn find_any_link(&self, id: InodeId) -> Option<(InodeId, u32)> {
+        let target = id.0 as u32;
+        for idx in 0..self.parent.len() {
+            if self.flags[idx] & FLAG_ALIVE == 0 || self.childtab[idx] == NONE_U32 {
                 continue;
             }
-            if let Some(map) = &n.children {
-                for (name, child) in map {
-                    if *child == id {
-                        return Some((InodeId(idx as u64), name.clone()));
-                    }
+            for e in &self.tables[self.childtab[idx] as usize] {
+                if e.child == target {
+                    return Some((InodeId(idx as u64), e.sym));
                 }
             }
         }
@@ -400,7 +614,10 @@ impl Namespace {
         new_dir: InodeId,
         new_name: &str,
     ) -> Result<InodeId, NamespaceError> {
-        let id = self.lookup(old_dir, old_name)?;
+        let old_ti = self.dir_table(old_dir)?;
+        let old_pos = self.find_in(old_ti, old_name).map_err(|_| NamespaceError::NotFound)?;
+        let ent = self.tables[old_ti][old_pos];
+        let id = InodeId(ent.child as u64);
         if id == self.root {
             return Err(NamespaceError::InvalidMove);
         }
@@ -408,27 +625,20 @@ impl Namespace {
         if self.is_dir(id) && (id == new_dir || self.is_ancestor(id, new_dir)) {
             return Err(NamespaceError::InvalidMove);
         }
-        {
-            let nd = self.node(new_dir)?;
-            let map = nd.children.as_ref().ok_or(NamespaceError::NotADirectory)?;
-            if map.contains_key(new_name) && !(new_dir == old_dir && new_name == old_name) {
-                return Err(NamespaceError::AlreadyExists);
-            }
+        let new_ti = self.dir_table(new_dir)?;
+        if self.find_in(new_ti, new_name).is_ok() && !(new_dir == old_dir && new_name == old_name) {
+            return Err(NamespaceError::AlreadyExists);
         }
-        self.nodes[old_dir.index()]
-            .children
-            .as_mut()
-            .expect("dir checked by lookup")
-            .remove(old_name);
-        self.nodes[new_dir.index()]
-            .children
-            .as_mut()
-            .expect("checked directory above")
-            .insert(new_name.into(), id);
-        let node = &mut self.nodes[id.index()];
-        if node.parent == Some(old_dir) && &*node.name == old_name {
-            node.parent = Some(new_dir);
-            node.name = new_name.into();
+        // Re-locate after the table index may have shifted is unnecessary —
+        // tables are stable between the lookups above — but the old entry
+        // position is recomputed defensively if both dirs share a table.
+        let old_pos = self.find_in(old_ti, old_name).expect("entry located above");
+        self.tables[old_ti].remove(old_pos);
+        self.dentry_insert(new_ti, new_name, id.0 as u32);
+        let i = id.index();
+        if self.parent[i] == old_dir.0 as u32 && self.name_sym[i] == ent.sym {
+            self.parent[i] = new_dir.0 as u32;
+            self.name_sym[i] = self.names.intern(new_name);
             self.move_epoch += 1;
         }
         Ok(id)
@@ -436,7 +646,8 @@ impl Namespace {
 
     /// Changes the mode bits of `id`.
     pub fn chmod(&mut self, id: InodeId, mode: u16) -> Result<(), NamespaceError> {
-        self.node_mut(id)?.inode.perm.mode = mode & 0o777;
+        let i = self.check(id)?;
+        self.mode[i] = mode & 0o777;
         Ok(())
     }
 
@@ -447,11 +658,15 @@ impl Namespace {
         let mut visited = 0;
         for anc in self.ancestors(id) {
             visited += 1;
-            if !self.node(anc)?.inode.perm.allows_traverse(uid) {
+            let a = self.check(anc)?;
+            let perm = Permissions { uid: self.uid[a], mode: self.mode[a] };
+            if !perm.allows_traverse(uid) {
                 return Err(NamespaceError::NotFound); // POSIX hides the entry
             }
         }
-        if !self.node(id)?.inode.perm.allows_read(uid) {
+        let i = self.check(id)?;
+        let perm = Permissions { uid: self.uid[i], mode: self.mode[i] };
+        if !perm.allows_read(uid) {
             return Err(NamespaceError::NotFound);
         }
         Ok(visited)
@@ -459,7 +674,7 @@ impl Namespace {
 
     /// Counts live items in the subtree rooted at `id` (inclusive).
     pub fn subtree_count(&self, id: InodeId) -> Result<u64, NamespaceError> {
-        self.node(id)?;
+        self.check(id)?;
         let mut count = 0u64;
         let mut stack = vec![id];
         while let Some(cur) = stack.pop() {
@@ -479,7 +694,55 @@ impl Namespace {
 
     /// All live ids, ascending.
     pub fn live_ids(&self) -> impl Iterator<Item = InodeId> + '_ {
-        self.nodes.iter().enumerate().filter(|(_, n)| n.alive).map(|(i, _)| InodeId(i as u64))
+        self.flags
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f & FLAG_ALIVE != 0)
+            .map(|(i, _)| InodeId(i as u64))
+    }
+
+    /// Releases excess column and table capacity back to the allocator.
+    /// Amortized Vec growth can leave capacities near 2× length right
+    /// after a build; the scale tier calls this once after materializing
+    /// its snapshot so [`heap_bytes`](Self::heap_bytes) — and actual RSS —
+    /// reflect the tree, not the growth schedule.
+    pub fn shrink_to_fit(&mut self) {
+        self.parent.shrink_to_fit();
+        self.name_sym.shrink_to_fit();
+        self.flags.shrink_to_fit();
+        self.uid.shrink_to_fit();
+        self.mode.shrink_to_fit();
+        self.size.shrink_to_fit();
+        self.mtime_us.shrink_to_fit();
+        self.nlink.shrink_to_fit();
+        self.childtab.shrink_to_fit();
+        for t in &mut self.tables {
+            t.shrink_to_fit();
+        }
+        self.tables.shrink_to_fit();
+    }
+
+    /// Heap bytes held by the namespace: every column's capacity, the
+    /// directory tables, and the name interner. This is the number the
+    /// scale tier budgets (`namespace_bytes_per_inode`); it counts
+    /// capacities, matching what the allocator actually handed out.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut b = self.parent.capacity() * size_of::<u32>()
+            + self.name_sym.capacity() * size_of::<u32>()
+            + self.flags.capacity()
+            + self.uid.capacity() * size_of::<u32>()
+            + self.mode.capacity() * size_of::<u16>()
+            + self.size.capacity() * size_of::<u64>()
+            + self.mtime_us.capacity() * size_of::<u64>()
+            + self.nlink.capacity() * size_of::<u32>()
+            + self.childtab.capacity() * size_of::<u32>()
+            + self.tables.capacity() * size_of::<Vec<DirEnt>>()
+            + self.names.heap_bytes();
+        for t in &self.tables {
+            b += t.capacity() * size_of::<DirEnt>();
+        }
+        b
     }
 }
 
@@ -499,7 +762,7 @@ impl Iterator for AncestorIter<'_> {
     type Item = InodeId;
     fn next(&mut self) -> Option<InodeId> {
         let cur = self.next?;
-        self.next = self.ns.nodes.get(cur.index()).and_then(|n| n.parent);
+        self.next = self.ns.parent_raw(cur);
         Some(cur)
     }
 }
@@ -702,7 +965,7 @@ mod tests {
         let (mut ns, _, alice, notes) = sample();
         assert_eq!(ns.check_access(notes, 1).unwrap(), 3);
         // Lock alice's directory against others: uid 2 loses access.
-        ns.inode_mut(alice).unwrap().perm = Permissions { uid: 1, mode: 0o700 };
+        ns.update_inode(alice, |ino| ino.perm = Permissions { uid: 1, mode: 0o700 }).unwrap();
         assert_eq!(ns.check_access(notes, 1).unwrap(), 3);
         assert_eq!(ns.check_access(notes, 2), Err(NamespaceError::NotFound));
     }
@@ -755,5 +1018,93 @@ mod tests {
         ns.unlink(ns.root(), "a").unwrap();
         let b = ns.create_file(ns.root(), "a", perm()).unwrap();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn update_inode_writes_back_mutable_fields() {
+        let (mut ns, _, _, notes) = sample();
+        let r = ns
+            .update_inode(notes, |ino| {
+                ino.size = 1234;
+                ino.mtime_us = 99;
+                ino.perm = Permissions { uid: 7, mode: 0o640 };
+                ino.size
+            })
+            .unwrap();
+        assert_eq!(r, 1234);
+        let ino = ns.inode(notes).unwrap();
+        assert_eq!(ino.size, 1234);
+        assert_eq!(ino.mtime_us, 99);
+        assert_eq!(ino.perm, Permissions { uid: 7, mode: 0o640 });
+        assert_eq!(ns.update_inode(InodeId(9999), |_| ()), Err(NamespaceError::NotFound));
+    }
+
+    #[test]
+    fn name_syms_are_shared_and_resolvable() {
+        let (mut ns, home, alice, notes) = sample();
+        let other = ns.create_file(home, "notes.txt", perm()).unwrap();
+        // Same name in different directories shares one symbol.
+        assert_eq!(ns.name_sym(notes).unwrap(), ns.name_sym(other).unwrap());
+        assert_eq!(ns.resolve_sym(ns.name_sym(notes).unwrap()), "notes.txt");
+        assert_ne!(ns.name_sym(alice).unwrap(), ns.name_sym(notes).unwrap());
+        // children_syms mirrors children, in the same order.
+        let by_name: Vec<InodeId> = ns.children(home).unwrap().map(|(_, c)| c).collect();
+        let by_sym: Vec<InodeId> = ns.children_syms(home).unwrap().map(|(_, c)| c).collect();
+        assert_eq!(by_name, by_sym);
+        let syms: Vec<&str> =
+            ns.children_syms(home).unwrap().map(|(s, _)| ns.resolve_sym(s)).collect::<Vec<_>>();
+        assert_eq!(syms, vec!["alice", "notes.txt"]);
+    }
+
+    #[test]
+    fn visit_path_matches_path_of() {
+        let (mut ns, home, alice, notes) = sample();
+        for id in [ns.root(), home, alice, notes] {
+            let mut joined = String::new();
+            let n = ns
+                .visit_path(id, |c| {
+                    joined.push('/');
+                    joined.push_str(c);
+                })
+                .unwrap();
+            if n == 0 {
+                joined.push('/');
+            }
+            assert_eq!(joined, ns.path_of(id).unwrap());
+            assert_eq!(n, ns.depth(id).unwrap());
+        }
+        // Deep chain exercises the spill path past the inline buffer.
+        let mut cur = alice;
+        for d in 0..40 {
+            cur = ns.mkdir(cur, &format!("deep{d:02}"), perm()).unwrap();
+        }
+        let mut joined = String::new();
+        let n = ns
+            .visit_path(cur, |c| {
+                joined.push('/');
+                joined.push_str(c);
+            })
+            .unwrap();
+        assert_eq!(n, 42);
+        assert_eq!(joined, ns.path_of(cur).unwrap());
+        assert!(ns.visit_path(InodeId(99999), |_| ()).is_err());
+    }
+
+    #[test]
+    fn heap_bytes_is_compact() {
+        let mut ns = Namespace::new();
+        for d in 0..100 {
+            let dir = ns.mkdir(ns.root(), &format!("d{d:03}"), perm()).unwrap();
+            for f in 0..20 {
+                ns.create_file(dir, &format!("f{f:03}"), perm()).unwrap();
+            }
+        }
+        let grown = ns.heap_bytes();
+        ns.shrink_to_fit();
+        let shrunk = ns.heap_bytes();
+        assert!(shrunk <= grown);
+        let per_inode = shrunk as f64 / ns.total_items() as f64;
+        assert!(per_inode < 64.0, "expected ≤64 B/inode, got {per_inode:.1}");
+        assert!(per_inode > 8.0, "accounting is not free: {per_inode:.1}");
     }
 }

@@ -10,14 +10,26 @@ use dynmds_namespace::{InodeId, MdsId, Namespace};
 
 use crate::memo::PlacementMemo;
 
-/// Stable 64-bit FNV-1a over a byte string, finished with a Murmur3-style
-/// avalanche so the low bits (which `% n` consumes) mix fully.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a initial state.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Feeds bytes into a running FNV-1a state. Feeding a path in slices
+/// (`"/"`, component, `"/"`, component, …) produces exactly the state of
+/// feeding the joined string — what lets placements hash interned path
+/// components straight out of the namespace without building a `String`.
+#[inline]
+fn fnv_feed(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
+    h
+}
+
+/// Murmur3-style finalizer so the low bits (which `% n` consumes) mix
+/// fully.
+#[inline]
+fn avalanche(mut h: u64) -> u64 {
     h ^= h >> 33;
     h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
     h ^= h >> 33;
@@ -26,10 +38,36 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Stable 64-bit FNV-1a over a byte string, finished with the avalanche.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    avalanche(fnv_feed(FNV_OFFSET, bytes))
+}
+
 /// Hashes an absolute path onto one of `n` servers.
 pub fn path_hash(path: &str, n: u16) -> MdsId {
     assert!(n > 0, "cluster must be non-empty");
     MdsId((fnv1a(path.as_bytes()) % n as u64) as u16)
+}
+
+/// [`path_hash`] of `id`'s primary path, computed incrementally from the
+/// namespace's interned components — byte-for-byte the same result as
+/// `path_hash(&ns.path_of(id)?, n)` with no `String` built. Returns
+/// `None` where `path_of` would error (dead id); callers choose their own
+/// fallback, matching whatever their eager code did.
+pub fn try_path_hash_of(ns: &Namespace, id: InodeId, n: u16) -> Option<MdsId> {
+    assert!(n > 0, "cluster must be non-empty");
+    let mut h = FNV_OFFSET;
+    let fed = ns
+        .visit_path(id, |comp| {
+            h = fnv_feed(h, b"/");
+            h = fnv_feed(h, comp.as_bytes());
+        })
+        .ok()?;
+    if fed == 0 {
+        // The root path renders as a bare "/".
+        h = fnv_feed(h, b"/");
+    }
+    Some(MdsId((avalanche(h) % n as u64) as u16))
 }
 
 /// Hashes one directory entry onto one of `n` servers — the scheme used
@@ -111,8 +149,7 @@ impl HashPartition {
                 }
             }
         };
-        let path = ns.path_of(key_node).unwrap_or_else(|_| "/".to_string());
-        path_hash(&path, self.n)
+        try_path_hash_of(ns, key_node, self.n).unwrap_or_else(|| path_hash("/", self.n))
     }
 }
 
@@ -234,5 +271,24 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn zero_cluster_rejected() {
         path_hash("/x", 0);
+    }
+
+    #[test]
+    fn incremental_hash_matches_eager_path_hash() {
+        let snap = NamespaceSpec { users: 20, seed: 51, ..Default::default() }.generate();
+        let ns = &snap.ns;
+        for n in [1u16, 7, 16, 64] {
+            for id in ns.live_ids() {
+                let eager = path_hash(&ns.path_of(id).unwrap(), n);
+                assert_eq!(try_path_hash_of(ns, id, n), Some(eager), "id {id:?} n {n}");
+            }
+        }
+        // Root hashes as "/".
+        assert_eq!(try_path_hash_of(ns, ns.root(), 16), Some(path_hash("/", 16)));
+        // Dead ids report None so callers pick their own fallback.
+        let mut ns2 = Namespace::new();
+        let f = ns2.create_file(ns2.root(), "x", Permissions::shared(1)).unwrap();
+        ns2.unlink(ns2.root(), "x").unwrap();
+        assert_eq!(try_path_hash_of(&ns2, f, 16), None);
     }
 }

@@ -20,7 +20,7 @@
 
 use dynmds_namespace::{FxHashMap, InodeId, MdsId, Namespace};
 
-use crate::hash::path_hash;
+use crate::hash::{path_hash, try_path_hash_of};
 use crate::memo::PlacementMemo;
 
 /// What kind of directory event must be propagated.
@@ -98,8 +98,7 @@ impl LazyHybrid {
         if let Some(m) = self.memo.get(id, stamp) {
             return m;
         }
-        let path = ns.path_of(id).unwrap_or_else(|_| "/".to_string());
-        let m = path_hash(&path, self.n);
+        let m = try_path_hash_of(ns, id, self.n).unwrap_or_else(|| path_hash("/", self.n));
         self.memo.set(id, stamp, m);
         m
     }

@@ -23,7 +23,7 @@ pub mod lazy;
 pub mod memo;
 pub mod subtree;
 
-pub use hash::{dentry_hash, path_hash, HashGranularity, HashPartition};
+pub use hash::{dentry_hash, path_hash, try_path_hash_of, HashGranularity, HashPartition};
 pub use kind::StrategyKind;
 pub use lazy::{LazyHybrid, LazyUpdateKind, PendingStats};
 pub use memo::PlacementMemo;

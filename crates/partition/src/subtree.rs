@@ -15,7 +15,7 @@ use std::cell::RefCell;
 
 use dynmds_namespace::{FxHashMap, InodeId, MdsId, Namespace};
 
-use crate::hash::path_hash;
+use crate::hash::{path_hash, try_path_hash_of};
 use crate::memo::PlacementMemo;
 
 /// Delegation table for subtree-partitioned clusters.
@@ -55,8 +55,10 @@ impl SubtreePartition {
             }
             if let Ok(d) = ns.depth(id) {
                 if d <= max_depth {
-                    let path = ns.path_of(id).unwrap_or_default();
-                    part.delegations.insert(id, path_hash(&path, n_mds));
+                    // The `""` fallback mirrors the old `unwrap_or_default`
+                    // on a dead id; live_ids() makes it unreachable.
+                    let m = try_path_hash_of(ns, id, n_mds).unwrap_or_else(|| path_hash("", n_mds));
+                    part.delegations.insert(id, m);
                 }
             }
         }

@@ -24,6 +24,7 @@ pub mod flash;
 pub mod general;
 pub mod hotset;
 pub mod ops;
+pub mod scale;
 pub mod shift;
 pub mod trace;
 
@@ -31,6 +32,7 @@ pub use flash::{BurstKind, FlashCrowd, ScientificWorkload, WriteCrowd};
 pub use general::{GeneralWorkload, WorkloadConfig};
 pub use hotset::HotSetWorkload;
 pub use ops::{Op, OpKind, OpMix};
+pub use scale::ScaleWorkload;
 pub use shift::ShiftingWorkload;
 pub use trace::{Trace, TraceOp, TraceRecord, TraceRecorder, TraceReplay};
 

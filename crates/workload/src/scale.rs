@@ -1,0 +1,164 @@
+//! Million-client scale workload: clients hammer per-user file ranges
+//! shared behind `Arc`s.
+//!
+//! The scale tier runs ≥10⁶ clients against a streaming-generated
+//! namespace where only a sample of user subtrees is materialized. Two
+//! constraints shape this generator:
+//!
+//! * **Per-shard copies must be near-free.** The sharded engine builds
+//!   one workload instance per shard from a factory; at a million
+//!   clients, cloning a `HotSetWorkload`-style flattened ring table
+//!   (clients × ring inode ids) per shard would dwarf the namespace
+//!   itself. Here the file table and per-user ranges live behind `Arc`s
+//!   built once; each instance owns only its cursor array.
+//! * **Clients outnumber materialized users.** Every client is pinned to
+//!   the materialized user subtree `client % users` and cycles a
+//!   client-specific ring inside that user's files, so load spreads over
+//!   the whole materialized sample without any per-client setup state.
+//!
+//! Like [`crate::hotset`], it is allocation- and RNG-free per op so the
+//! engine, not workload generation, dominates measured throughput.
+
+use std::sync::Arc;
+
+use dynmds_event::SimTime;
+use dynmds_namespace::{ClientId, InodeId, Namespace};
+
+use crate::ops::Op;
+use crate::Workload;
+
+/// The shared tables every per-shard instance borrows: the flattened
+/// file ids and the per-user `(start, len)` ranges into them.
+pub type ScaleTables = (Arc<[InodeId]>, Arc<[(u32, u32)]>);
+
+/// Stat-hammer over per-user file ranges; construction is O(clients) for
+/// the cursor array only, all shared tables arrive pre-built.
+pub struct ScaleWorkload {
+    /// All materialized users' files, flattened; user `u` owns
+    /// `files[ranges[u].0 as usize ..][.. ranges[u].1 as usize]`.
+    files: Arc<[InodeId]>,
+    /// `(start, len)` into `files` per materialized user.
+    ranges: Arc<[(u32, u32)]>,
+    /// Ring length per client (clamped to the user's file count).
+    ring: u32,
+    /// Next ring position per client.
+    cursor: Vec<u32>,
+    n_clients: usize,
+}
+
+impl ScaleWorkload {
+    /// Builds a workload over pre-collected per-user file ranges. Every
+    /// range must be non-empty and lie within `files`.
+    pub fn new(
+        files: Arc<[InodeId]>,
+        ranges: Arc<[(u32, u32)]>,
+        n_clients: usize,
+        ring: u32,
+    ) -> Self {
+        assert!(n_clients > 0 && ring > 0, "need clients and a ring");
+        assert!(!ranges.is_empty(), "need at least one materialized user");
+        for &(start, len) in ranges.iter() {
+            assert!(len > 0, "user range must be non-empty");
+            assert!((start as usize + len as usize) <= files.len(), "range out of bounds");
+        }
+        ScaleWorkload { files, ranges, ring, cursor: vec![0; n_clients], n_clients }
+    }
+
+    /// Collects the shared tables from the live files under each of
+    /// `homes` (one walk per subtree, sorted id order within each). The
+    /// result is reused by every per-shard instance. Subtrees holding no
+    /// files (the generator's size distributions allow all-directory
+    /// homes) are skipped — clients are spread over the ranges that
+    /// exist, so the mapping stays total.
+    pub fn collect(ns: &Namespace, homes: &[InodeId]) -> ScaleTables {
+        let mut files: Vec<InodeId> = Vec::new();
+        let mut ranges: Vec<(u32, u32)> = Vec::with_capacity(homes.len());
+        for &home in homes {
+            let start = files.len();
+            files.extend(ns.walk(home).filter(|&id| !ns.is_dir(id)));
+            let len = files.len() - start;
+            if len > 0 {
+                ranges.push((start as u32, len as u32));
+            }
+        }
+        assert!(!ranges.is_empty(), "no materialized subtree holds any files");
+        (files.into(), ranges.into())
+    }
+}
+
+impl Workload for ScaleWorkload {
+    fn next_op(&mut self, _ns: &Namespace, client: ClientId, _now: SimTime) -> Op {
+        let c = client.index();
+        let (start, len) = self.ranges[c % self.ranges.len()];
+        let pos = self.cursor[c];
+        let ring = self.ring.min(len);
+        self.cursor[c] = (pos + 1) % ring;
+        // Offset each client's ring by a multiplicative hash of its id so
+        // clients sharing a user cover different windows of its files.
+        let base = (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let idx = start as u64 + (base.wrapping_add(pos as u64)) % len as u64;
+        Op::Stat(self.files[idx as usize])
+    }
+
+    fn clients(&self) -> usize {
+        self.n_clients
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynmds_namespace::NamespaceSpec;
+
+    fn build(n_clients: usize, ring: u32) -> (Namespace, ScaleWorkload) {
+        let snap = NamespaceSpec::with_target_items(6, 3_000, 11).generate();
+        let (files, ranges) = ScaleWorkload::collect(&snap.ns, &snap.user_homes);
+        let w = ScaleWorkload::new(files, ranges, n_clients, ring);
+        (snap.ns, w)
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_cyclic() {
+        let (ns, mut a) = build(10, 4);
+        let (_, mut b) = build(10, 4);
+        let c = ClientId(3);
+        let first: Vec<Op> = (0..8).map(|_| a.next_op(&ns, c, SimTime::ZERO)).collect();
+        let second: Vec<Op> = (0..8).map(|_| b.next_op(&ns, c, SimTime::ZERO)).collect();
+        assert_eq!(format!("{first:?}"), format!("{second:?}"));
+        assert_eq!(format!("{:?}", first[0]), format!("{:?}", first[4]), "period = ring");
+    }
+
+    #[test]
+    fn clients_stay_inside_their_users_files() {
+        let (ns, mut w) = build(13, 6);
+        let snap_homes: Vec<InodeId> = {
+            let snap = NamespaceSpec::with_target_items(6, 3_000, 11).generate();
+            snap.user_homes.clone()
+        };
+        for c in 0..13usize {
+            let u = c % snap_homes.len();
+            for _ in 0..10 {
+                let Op::Stat(id) = w.next_op(&ns, ClientId(c as u32), SimTime::ZERO) else {
+                    panic!("scale workload only stats");
+                };
+                assert!(ns.is_alive(id) && !ns.is_dir(id));
+                assert!(ns.is_ancestor(snap_homes[u], id), "client {c} strayed outside user {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_tables_make_per_shard_copies_cheap() {
+        let (ns, _) = build(4, 2);
+        let snap = NamespaceSpec::with_target_items(6, 3_000, 11).generate();
+        let (files, ranges) = ScaleWorkload::collect(&snap.ns, &snap.user_homes);
+        // Factory pattern: many instances over the same Arcs.
+        let instances: Vec<ScaleWorkload> = (0..4)
+            .map(|_| ScaleWorkload::new(Arc::clone(&files), Arc::clone(&ranges), 1000, 8))
+            .collect();
+        assert_eq!(Arc::strong_count(&files), 1 + instances.len());
+        let mut w0 = instances.into_iter().next().unwrap();
+        let op = w0.next_op(&ns, ClientId(0), SimTime::ZERO);
+        assert!(matches!(op, Op::Stat(_)));
+    }
+}

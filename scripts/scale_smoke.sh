@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# CI scale smoke: the streaming-namespace scale tier at smoke size
+# (~10^6 logical inodes, 50k clients) — seconds, not the CI-excluded
+# full tier (10^8 inodes, 10^6 clients; `experiments scale --full`).
+#
+# Gates, in order:
+#   1. determinism — two identical runs must produce byte-identical CSVs;
+#   2. memory      — namespace footprint <= 64 bytes per materialized
+#                    inode (every strategy row), peak RSS under budget;
+#   3. liveness    — every strategy completed operations.
+#
+# The fresh CSV lands in target/scale-smoke/ for CI to upload.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=target/scale-smoke
+# Per-inode namespace budget (bytes) and whole-process peak RSS budget.
+BPI_BUDGET=64
+RSS_BUDGET=$((1024 * 1024 * 1024)) # 1 GiB
+
+mkdir -p "$OUT/a" "$OUT/b"
+
+cargo build --release --offline --locked --bin experiments
+
+./target/release/experiments scale --smoke --out "$OUT/a" | tee "$OUT/a/stdout.txt"
+./target/release/experiments scale --smoke --out "$OUT/b" > "$OUT/b/stdout.txt"
+
+echo "scale smoke: comparing the two runs' CSVs..."
+cmp "$OUT/a/scale.csv" "$OUT/b/scale.csv"
+cp "$OUT/a/scale.csv" "$OUT/scale.csv"
+
+# Column-name-driven so reordering the table doesn't silently un-gate.
+awk -F, -v budget="$BPI_BUDGET" '
+    NR == 1 { for (i = 1; i <= NF; i++) col[$i] = i; next }
+    {
+        strategy = $col["strategy"]; bpi = $col["bytes_per_inode"] + 0
+        ops = $col["ops"] + 0
+        printf "scale smoke: %s: %.1f B/inode, %d ops\n", strategy, bpi, ops
+        if (bpi > budget) {
+            printf "scale smoke: FAIL — %s namespace at %.1f B/inode (budget %d)\n", strategy, bpi, budget
+            exit 1
+        }
+        if (ops <= 0) {
+            printf "scale smoke: FAIL — %s completed no operations\n", strategy
+            exit 1
+        }
+    }
+' "$OUT/scale.csv"
+
+rss=$(grep -o 'peak RSS [0-9]* bytes' "$OUT/a/stdout.txt" | grep -o '[0-9]*')
+if [ -z "$rss" ] || [ "$rss" -eq 0 ]; then
+    echo "scale smoke: peak RSS unavailable (/proc?); skipping the RSS gate"
+elif [ "$rss" -gt "$RSS_BUDGET" ]; then
+    echo "scale smoke: FAIL — peak RSS $rss bytes over the $RSS_BUDGET budget"
+    exit 1
+else
+    echo "scale smoke: peak RSS $rss bytes (budget $RSS_BUDGET)"
+fi
+
+echo "scale smoke: ok"

@@ -15,4 +15,7 @@ echo "==> DST torture: 200 seeds x all strategies"
 cargo build --release --offline --locked
 target/release/experiments torture --seeds 200 --ops 2000
 
+echo "==> scale smoke (streaming namespace, memory + determinism gates)"
+./scripts/scale_smoke.sh
+
 echo "ok: full test sweep passed"

@@ -86,7 +86,14 @@ fn usage(err: &str) -> ! {
          or:    experiments torture [--seeds N] [--seed-base B] [--ops K] [--strategy NAME|all]\n\
          \u{20}                     [--out DIR] [--shrink-budget P] [--no-repeat-check] [--threads T]\n\
          \u{20}                     [--shards K]  (cross-check sharded engine reports, K vs 1)\n\
-         (seeded fuzz scenarios against the DST oracle; repros land in dst/repros/)"
+         (seeded fuzz scenarios against the DST oracle; repros land in dst/repros/)\n\
+         \n\
+         or:    experiments scale [--smoke|--full] [--clients N] [--users N] [--target-inodes N]\n\
+         \u{20}                   [--materialize N] [--ring N] [--mds N] [--cache N] [--think-us U]\n\
+         \u{20}                   [--warmup-ms M] [--measure-ms M] [--shards K] [--threads T]\n\
+         \u{20}                   [--strategy NAME|all] [--seed S] [--out DIR]\n\
+         (the scale tier: streaming namespace + ScaleWorkload on the sharded engine;\n\
+         \u{20}--full defaults to 10^6 clients against a 10^8-inode logical namespace)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -224,6 +231,140 @@ fn sharded_bench_run(shards: usize, measure: SimDuration) -> (dynmds_core::Shard
     (report, rate)
 }
 
+/// Entry point for `experiments scale` — the million-client scale tier.
+/// Owns its flag grammar (like `torture`): sizing defaults come from
+/// `--smoke` (CI) or `--full` (the ≥10⁶-client, ≥10⁸-inode run), with
+/// every knob individually overridable. Prints the deterministic table,
+/// writes `scale.csv` to `--out`, and reports wall-clock throughput and
+/// peak RSS on stdout only (machine-dependent, never in the CSV).
+fn run_scale_cli(raw: &[String]) -> i32 {
+    use dynmds_harness::ScaleParams;
+    let mut p = ScaleParams::smoke();
+    let mut out_dir = ".".to_string();
+    let mut it = raw.iter();
+    let parse_err = |flag: &str, v: &str| -> ! {
+        eprintln!("scale: bad value for {flag}: {v}");
+        std::process::exit(2);
+    };
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("scale: missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--smoke" => p = ScaleParams::smoke(),
+            "--full" => p = ScaleParams::full(),
+            "--clients" => {
+                let v = val("--clients");
+                p.clients = v.parse().unwrap_or_else(|_| parse_err("--clients", &v));
+            }
+            "--users" => {
+                let v = val("--users");
+                p.users = v.parse().unwrap_or_else(|_| parse_err("--users", &v));
+            }
+            "--target-inodes" => {
+                let v = val("--target-inodes");
+                p.target_items = v.parse().unwrap_or_else(|_| parse_err("--target-inodes", &v));
+            }
+            "--materialize" => {
+                let v = val("--materialize");
+                p.materialize_users = v.parse().unwrap_or_else(|_| parse_err("--materialize", &v));
+            }
+            "--ring" => {
+                let v = val("--ring");
+                p.ring = v.parse().unwrap_or_else(|_| parse_err("--ring", &v));
+            }
+            "--mds" => {
+                let v = val("--mds");
+                p.n_mds = v.parse().unwrap_or_else(|_| parse_err("--mds", &v));
+            }
+            "--cache" => {
+                let v = val("--cache");
+                p.cache_capacity = v.parse().unwrap_or_else(|_| parse_err("--cache", &v));
+            }
+            "--think-us" => {
+                let v = val("--think-us");
+                p.think_mean = SimDuration::from_micros(
+                    v.parse().unwrap_or_else(|_| parse_err("--think-us", &v)),
+                );
+            }
+            "--warmup-ms" => {
+                let v = val("--warmup-ms");
+                p.warmup = SimDuration::from_millis(
+                    v.parse().unwrap_or_else(|_| parse_err("--warmup-ms", &v)),
+                );
+            }
+            "--measure-ms" => {
+                let v = val("--measure-ms");
+                p.measure = SimDuration::from_millis(
+                    v.parse().unwrap_or_else(|_| parse_err("--measure-ms", &v)),
+                );
+            }
+            "--shards" => {
+                let v = val("--shards");
+                p.shards = v.parse().unwrap_or_else(|_| parse_err("--shards", &v));
+            }
+            "--threads" => {
+                let v = val("--threads");
+                p.threads = Some(v.parse().unwrap_or_else(|_| parse_err("--threads", &v)));
+            }
+            "--seed" => {
+                let v = val("--seed");
+                p.seed = v.parse().unwrap_or_else(|_| parse_err("--seed", &v));
+            }
+            "--strategy" => {
+                let v = val("--strategy");
+                if v == "all" {
+                    p.strategies = dynmds_partition::StrategyKind::ALL.to_vec();
+                } else {
+                    match dynmds_partition::StrategyKind::ALL
+                        .iter()
+                        .find(|k| k.label().eq_ignore_ascii_case(&v))
+                    {
+                        Some(&k) => p.strategies = vec![k],
+                        None => parse_err("--strategy", &v),
+                    }
+                }
+            }
+            "--out" => out_dir = val("--out"),
+            other => {
+                eprintln!("scale: unknown argument: {other}");
+                return 2;
+            }
+        }
+    }
+
+    // Honor --threads in every pool fan-out, not just the engine windows.
+    dynmds_harness::parallel::set_thread_override(p.threads);
+
+    println!(
+        "scale: {} clients, {} logical users ({} materialized), target {} inodes, \
+         {} MDS, {} shards",
+        p.clients, p.users, p.materialize_users, p.target_items, p.n_mds, p.shards
+    );
+    let points = dynmds_harness::run_scale(&p);
+    let table = dynmds_harness::scale_table(&points);
+    println!("{}", table.render());
+    // Machine-dependent figures stay out of the CSV.
+    for pt in &points {
+        println!(
+            "scale: {} wall {:.2}s ({:.0} ops/s wall)",
+            pt.strategy.label(),
+            pt.wall_s,
+            pt.wall_ops_per_sec()
+        );
+    }
+    println!("scale: peak RSS {} bytes", peak_rss_bytes());
+
+    std::fs::create_dir_all(&out_dir).expect("create scale output dir");
+    let path = format!("{out_dir}/scale.csv");
+    std::fs::write(&path, table.to_csv()).expect("write scale.csv");
+    eprintln!("wrote {path}");
+    0
+}
+
 /// Peak resident set (VmHWM) in bytes, 0 where /proc is unavailable.
 fn peak_rss_bytes() -> u64 {
     std::fs::read_to_string("/proc/self/status")
@@ -281,6 +422,23 @@ fn run_bench(args: &Args) {
     }
     let sharded_ops_per_sec = sharded_curve.last().map(|&(_, r)| r).unwrap_or(0.0);
 
+    // Scale-tier probe: a shrunken smoke run (not a timed figure stage —
+    // it tracks the streaming-namespace memory story, not suite wall
+    // time). Yields the headline scale_ops_per_sec (wall) and the
+    // namespace footprint per materialized inode.
+    eprintln!("bench: scale-tier probe (streaming namespace)...");
+    let scale_probe = {
+        let mut p = dynmds_harness::ScaleParams::smoke();
+        p.clients = 10_000;
+        p.users = 4_000;
+        p.target_items = 200_000;
+        p.materialize_users = 256;
+        p.strategies = vec![dynmds_partition::StrategyKind::DynamicSubtree];
+        dynmds_harness::run_scale(&p).remove(0)
+    };
+    let scale_ops_per_sec = scale_probe.wall_ops_per_sec();
+    let namespace_bytes_per_inode = scale_probe.bytes_per_inode();
+
     // With --obs/--obs-trace, time the same run instrumented and report
     // the observability overhead (not part of BENCH_sim.json: the
     // committed baseline tracks the uninstrumented hot path).
@@ -328,6 +486,8 @@ fn run_bench(args: &Args) {
     json.push_str(&format!("  \"ops_per_sec\": {ops_per_sec:.1},\n"));
     json.push_str(&format!("  \"scheduler_ops_per_sec\": {sched_ops_per_sec:.1},\n"));
     json.push_str(&format!("  \"sharded_ops_per_sec\": {sharded_ops_per_sec:.1},\n"));
+    json.push_str(&format!("  \"scale_ops_per_sec\": {scale_ops_per_sec:.1},\n"));
+    json.push_str(&format!("  \"namespace_bytes_per_inode\": {namespace_bytes_per_inode:.1},\n"));
     json.push_str("  \"sharded_scaling\": [\n");
     for (i, (shards, rate)) in sharded_curve.iter().enumerate() {
         let comma = if i + 1 < sharded_curve.len() { "," } else { "" };
@@ -377,6 +537,10 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("torture") {
         std::process::exit(dynmds_dst::cli::run_torture(&raw[1..]));
+    }
+    // `scale` owns its flag grammar too.
+    if raw.first().map(String::as_str) == Some("scale") {
+        std::process::exit(run_scale_cli(&raw[1..]));
     }
     let args = parse_args();
     if args.command == "bench" {

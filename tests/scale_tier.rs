@@ -1,0 +1,54 @@
+//! Scale-tier integration properties (ROADMAP item 1).
+//!
+//! The unit tests in `dynmds-namespace` pin streaming == eager at toy
+//! sizes; these push the same properties to experiment-sized namespaces
+//! and to the million-user spec the full tier runs against. Both are
+//! gated behind `slow-tests` (the eager generator materializes every
+//! inode, which is exactly the cost the streaming path exists to avoid).
+
+use dynmds::namespace::{NamespaceSpec, StreamingGenerator};
+
+#[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "eagerly materializes 6x10^5 inodes; run via --features slow-tests or scripts/test_full.sh"
+)]
+fn streaming_equals_eager_at_experiment_sizes() {
+    for seed in [3u64, 17, 4242] {
+        let spec = NamespaceSpec::with_target_items(2_000, 200_000, seed);
+        let eager = spec.generate();
+        let streamed = StreamingGenerator::new(spec.clone()).generate_all();
+        assert_eq!(eager.user_homes, streamed.user_homes, "seed {seed}");
+        assert_eq!(eager.shared_roots, streamed.shared_roots, "seed {seed}");
+        // Image equality covers every slot: ids, names, parents, file
+        // types, permissions, sizes, link structure.
+        assert_eq!(eager.ns.to_image(), streamed.ns.to_image(), "seed {seed}");
+    }
+}
+
+#[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "counts a 10^8-inode logical namespace (seconds); run via --features slow-tests"
+)]
+fn full_tier_spec_is_huge_logically_and_tiny_materialized() {
+    // The full tier's own spec: 10^6 users, 10^8-inode target.
+    let spec = NamespaceSpec::with_target_items(1_000_000, 100_000_000, 42 ^ 0xF5);
+    let mut generator = StreamingGenerator::new(spec);
+    for u in 0..64 {
+        generator.materialize_user(u);
+    }
+    let materialized = generator.ns().total_items();
+    let logical = generator.logical_items();
+    assert!(logical >= 100_000_000, "logical namespace undersized: {logical}");
+    assert!(materialized < 20_000, "64 users materialized {materialized} inodes");
+    // The untouched 999,936 users must cost no namespace heap: the
+    // footprint is bounded by what was actually materialized.
+    let mut snap = generator.into_snapshot();
+    snap.ns.shrink_to_fit();
+    let bytes = snap.ns.heap_bytes();
+    assert!(
+        (bytes as f64) < materialized as f64 * 80.0,
+        "{bytes} heap bytes for {materialized} materialized inodes"
+    );
+}
