@@ -34,13 +34,18 @@ impl Cluster {
             let raw = self.hb_served[i] as f64 + self.cfg.miss_weight * self.hb_misses[i] as f64;
             self.hb_ewma[i] = 0.5 * self.hb_ewma[i] + 0.5 * raw;
         }
-        let mean = self.hb_ewma.iter().sum::<f64>() / n as f64;
+        // Dead nodes serve nothing; folding their stale EWMA into the mean
+        // would skew the gate every live node's busy_streak depends on.
+        let mean = self.live_load_mean();
         for i in 0..n {
-            if mean >= 1.0 && self.hb_ewma[i] > self.cfg.imbalance_ratio * mean {
+            if mean >= 1.0 && self.alive[i] && self.hb_ewma[i] > self.cfg.imbalance_ratio * mean {
                 self.busy_streak[i] += 1;
             } else {
                 self.busy_streak[i] = 0;
             }
+        }
+        if self.cfg.elastic.enabled {
+            self.elastic_tick(now);
         }
         if self.cfg.balancing && self.cfg.strategy.rebalances() {
             self.rebalance(now);
@@ -52,13 +57,32 @@ impl Cluster {
         self.subtree_ops.clear();
     }
 
+    /// Mean smoothed load over *live* nodes only (the balancing gate).
+    /// With every node alive this sums the same elements in the same
+    /// order as a plain mean, so fault-free runs are bit-identical.
+    pub(crate) fn live_load_mean(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut live = 0u32;
+        for i in 0..self.nodes.len() {
+            if self.alive[i] {
+                sum += self.hb_ewma[i];
+                live += 1;
+            }
+        }
+        if live == 0 {
+            0.0
+        } else {
+            sum / live as f64
+        }
+    }
+
     fn rebalance(&mut self, now: SimTime) {
         let n = self.nodes.len();
         if n < 2 {
             return;
         }
         let mut loads: Vec<f64> = self.hb_ewma.clone();
-        let mean = loads.iter().sum::<f64>() / n as f64;
+        let mean = self.live_load_mean();
         if mean < 1.0 {
             return; // idle cluster, nothing to balance
         }
@@ -74,6 +98,12 @@ impl Cluster {
             }
             if loads[busy] <= self.cfg.imbalance_ratio * mean {
                 break; // remaining nodes are within bounds
+            }
+            // A crashed node can carry residual EWMA for a few windows;
+            // it must never be picked as a migration *source* (its
+            // delegations and cached state are already gone).
+            if !self.alive[busy] {
+                continue;
             }
             // Persistence: act only on sustained overload, not one noisy
             // window.
@@ -248,6 +278,16 @@ impl Cluster {
             None => return,
         };
         sub.delegate(root, to);
+        if let Some(log) = &mut self.migration_log {
+            log.push(crate::cluster::MigrationRecord {
+                at: now,
+                root,
+                from,
+                to,
+                from_alive: self.alive[from.index()],
+                to_alive: self.alive[to.index()],
+            });
+        }
         self.imported[from.index()].retain(|&d| d != root);
         self.imported[to.index()].push(root);
         self.last_migrated.insert(root, now);
@@ -382,6 +422,51 @@ mod tests {
             }
         }
         assert!(c.migrations > 0, "sustained overload must migrate");
+    }
+
+    #[test]
+    fn crashed_node_is_never_chosen_as_migration_source() {
+        let mut c = tiny_cluster(StrategyKind::DynamicSubtree);
+        let dead = MdsId(1);
+        c.fail_node(SimTime::from_secs(1), dead);
+        // Reconstruct the hazard the liveness check guards against: a
+        // delegation that still names the dead node (a heartbeat racing
+        // the crash) plus residual load figures that make it "busiest".
+        let home = c.ns.resolve("/home/user0000").unwrap();
+        c.partition.as_subtree_mut().unwrap().delegate(home, dead);
+        c.hb_ewma[dead.index()] = 100_000.0;
+        c.busy_streak[dead.index()] = 5;
+        c.hb_ewma[0] = 30_000.0;
+        c.hb_ewma[2] = 1_000.0;
+        c.hb_ewma[3] = 1_000.0;
+        c.subtree_ops.insert(home, 10_000);
+
+        c.rebalance(SimTime::from_secs(5));
+
+        assert_eq!(c.migrations, 0, "dead exporter must be skipped");
+        assert_eq!(c.nodes[dead.index()].life.subtrees_out, 0);
+        assert_eq!(
+            c.partition.as_subtree().unwrap().delegation_of(home),
+            Some(dead),
+            "nothing is 'migrated' off a node that no longer serves"
+        );
+    }
+
+    #[test]
+    fn stale_dead_load_does_not_skew_streaks_or_the_mean() {
+        let mut c = tiny_cluster(StrategyKind::DynamicSubtree);
+        c.fail_node(SimTime::from_secs(1), MdsId(3));
+        // Residual figure, as if the fail-path zeroing were missed.
+        c.hb_ewma[3] = 1_000_000.0;
+        c.hb_served[0] = 4_000; // node 0 genuinely overloaded; 1, 2 idle
+        c.heartbeat(SimTime::from_secs(5));
+        assert_eq!(c.busy_streak[3], 0, "a dead node builds no streak");
+        assert!(c.busy_streak[0] >= 1, "live overload detected despite dead residue");
+        c.hb_ewma[3] = 50_000.0;
+        for i in [0usize, 1, 2] {
+            c.hb_ewma[i] = 12.0;
+        }
+        assert_eq!(c.live_load_mean(), 12.0, "mean covers live nodes only");
     }
 
     #[test]

@@ -37,6 +37,25 @@ use crate::obs::ClusterObs;
 use crate::report::{NodeSnapshot, SimReport};
 use crate::request::{Request, SimEvent};
 
+/// One entry of the optional migration audit trail
+/// ([`Cluster::migration_log`]): where a subtree moved and whether both
+/// endpoints were alive when the balancer moved it.
+#[derive(Clone, Copy, Debug)]
+pub struct MigrationRecord {
+    /// When the migration happened.
+    pub at: SimTime,
+    /// Subtree root that moved.
+    pub root: InodeId,
+    /// Exporting node.
+    pub from: MdsId,
+    /// Importing node.
+    pub to: MdsId,
+    /// Exporter liveness at migration time.
+    pub from_alive: bool,
+    /// Importer liveness at migration time.
+    pub to_alive: bool,
+}
+
 /// The whole simulated system. See module docs.
 pub struct Cluster {
     /// Configuration of this run.
@@ -87,6 +106,14 @@ pub struct Cluster {
     pub(crate) busy_streak: Vec<u32>,
     /// Total subtree migrations performed.
     pub migrations: u64,
+    /// Optional migration audit trail for tests: records the liveness of
+    /// both endpoints at migration time. `None` (the default) costs one
+    /// untaken branch per migration.
+    pub migration_log: Option<Vec<MigrationRecord>>,
+
+    // --- elastic autoscaling (ROADMAP item 3) ---------------------------
+    /// Controller state; inert unless [`SimConfig::elastic`] is enabled.
+    pub elastic: crate::elastic::ElasticState,
 
     // --- failover state (§2.1.2) ---------------------------------------
     /// Liveness per node.
@@ -197,7 +224,7 @@ impl Cluster {
             clients.set_uid(ClientId(c), uid);
         }
         let n = cfg.n_mds as usize;
-        Cluster {
+        let mut cluster = Cluster {
             rng: SimRng::seed_from_u64(cfg.seed ^ 0x5EED),
             ns,
             partition,
@@ -217,6 +244,8 @@ impl Cluster {
             hb_ewma: vec![0.0; n],
             busy_streak: vec![0; n],
             migrations: 0,
+            migration_log: None,
+            elastic: crate::elastic::ElasticState::new(n),
             alive: vec![true; n],
             failures: 0,
             recoveries: 0,
@@ -243,7 +272,11 @@ impl Cluster {
             received_series: vec![TimeSeries::new(); n],
             latency: Summary::new(),
             cfg,
+        };
+        if cluster.cfg.elastic.enabled {
+            cluster.park_initial_standby();
         }
+        cluster
     }
 
     /// Attaches a fresh [`DstProbe`](crate::check::DstProbe) so a DST
@@ -327,6 +360,11 @@ impl Cluster {
             n.life = Default::default();
             n.win = Default::default();
         }
+        // Provisioned-capacity accounting restarts with the measured
+        // window (scale events during warmup are still counted as events,
+        // but their node-time is not billed to the measurement).
+        self.elastic.provisioned_node_us = 0;
+        self.elastic.last_account = now;
         self.obs.reset();
     }
 
@@ -1125,8 +1163,12 @@ impl Handler<SimEvent> for Cluster {
             SimEvent::Arrive { mds, req } => self.on_arrive(now, mds, req, queue),
             SimEvent::Reply { client } => {
                 self.ops_completed += 1;
-                let think_us =
-                    self.rng.exponential(self.cfg.costs.think_mean.as_micros() as f64) as u64;
+                // think_scale is exactly 1.0 for every stationary workload,
+                // and `mean * 1.0 == mean` bit-for-bit, so only diurnal /
+                // bursty generators perturb the draw.
+                let mean =
+                    self.cfg.costs.think_mean.as_micros() as f64 * self.workload.think_scale(now);
+                let think_us = self.rng.exponential(mean) as u64;
                 queue.schedule(now + SimDuration::from_micros(think_us), SimEvent::Issue(client));
             }
             SimEvent::Heartbeat => {

@@ -42,6 +42,44 @@ impl Default for CostModel {
     }
 }
 
+/// Elastic autoscaling knobs (ROADMAP item 3, λFS-style). The controller
+/// watches the same smoothed heartbeat load signal the balancer uses and
+/// activates / parks nodes between `min_nodes` and `n_mds` (the
+/// provisioned pool ceiling). All thresholds are per-*live*-node rates so
+/// they are independent of the heartbeat interval.
+#[derive(Clone, Copy, Debug)]
+pub struct ElasticConfig {
+    /// Master switch; off keeps the cluster statically provisioned and
+    /// the fast path branch-identical to builds without elasticity.
+    pub enabled: bool,
+    /// Never park below this many live nodes.
+    pub min_nodes: u16,
+    /// Scale out when the mean per-live-node load (served +
+    /// `miss_weight` × misses, per second) stays above this.
+    pub high_load_per_s: f64,
+    /// Scale in when it stays below this.
+    pub low_load_per_s: f64,
+    /// Consecutive heartbeats a watermark must hold before acting —
+    /// the controller's analogue of the balancer's `busy_streak`.
+    pub sustain: u32,
+    /// Heartbeats to hold off after a scaling action, letting the EWMA
+    /// and the balancer settle before judging the new population.
+    pub cooldown_heartbeats: u32,
+}
+
+impl Default for ElasticConfig {
+    fn default() -> Self {
+        ElasticConfig {
+            enabled: false,
+            min_nodes: 2,
+            high_load_per_s: 4_000.0,
+            low_load_per_s: 1_500.0,
+            sustain: 2,
+            cooldown_heartbeats: 2,
+        }
+    }
+}
+
 /// Full configuration of one simulation run.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -85,6 +123,11 @@ pub struct SimConfig {
     /// against migration storms ("a small overhead associated with each
     /// delegation", §4.3).
     pub max_migrations_per_heartbeat: usize,
+
+    // --- elastic autoscaling (ElasticSubtree strategy) -----------------
+    /// Elastic add/remove of MDS nodes driven by the heartbeat load
+    /// signal; see [`ElasticConfig`].
+    pub elastic: ElasticConfig,
 
     // --- dynamic directory hashing (§4.3) -----------------------------
     /// Spread a single directory across the cluster when it grows beyond
@@ -148,14 +191,18 @@ impl SimConfig {
             journal_capacity: 1_500,
             n_osds: 8,
             costs: CostModel::default(),
-            traffic_control: strategy == StrategyKind::DynamicSubtree,
+            traffic_control: strategy.rebalances(),
             replication_threshold: 64.0,
             popularity_half_life: SimDuration::from_secs(10),
-            balancing: strategy == StrategyKind::DynamicSubtree,
+            balancing: strategy.rebalances(),
             heartbeat: SimDuration::from_secs(5),
             imbalance_ratio: 1.25,
             miss_weight: 4.0,
             max_migrations_per_heartbeat: 4,
+            elastic: ElasticConfig {
+                enabled: strategy == StrategyKind::ElasticSubtree,
+                ..ElasticConfig::default()
+            },
             dir_hash_threshold: 0,
             disable_prefetch_probation: false,
             force_inode_table: false,

@@ -92,6 +92,15 @@ impl Cluster {
         self.failures += 1;
         self.obs.on_failure();
 
+        // A dead node has no load: clear its smoothed estimate, its
+        // in-window counters, and its overload streak so residual figures
+        // neither mark it "busiest" nor skew the cluster mean the balancer
+        // gates on.
+        self.hb_ewma[mds.index()] = 0.0;
+        self.busy_streak[mds.index()] = 0;
+        self.hb_served[mds.index()] = 0;
+        self.hb_misses[mds.index()] = 0;
+
         // RAM is gone. The journal is on shared storage and survives.
         let cap = self.cfg.cache_capacity;
         self.nodes[mds.index()].cache = dynmds_cache::MetaCache::new(cap);
@@ -176,12 +185,21 @@ impl Cluster {
             return;
         }
         self.alive[mds.index()] = true;
+        // Recovery supersedes any elastic parking: the node is live again
+        // and the controller will re-park it if it stays idle.
+        self.elastic.standby[mds.index()] = false;
         self.recoveries += 1;
         self.obs.on_recovery();
         if !self.cfg.journal_warming {
             return; // ablation: come back cold
         }
+        self.warm_own_journal(now, mds);
+    }
 
+    /// The §4.6 cold-start model, shared by crash recovery and elastic
+    /// scale-out: preload the node's cache from its own journal's working
+    /// set (one fast sequential read plus per-record replay cost).
+    pub(crate) fn warm_own_journal(&mut self, now: SimTime, mds: MdsId) {
         // §4.6 cache warming: the log approximates the working set.
         let mut ws: Vec<InodeId> = self.nodes[mds.index()].journal.working_set().collect();
         ws.sort_by_key(|&id| (self.ns.depth(id).unwrap_or(usize::MAX), id));
@@ -269,6 +287,20 @@ mod tests {
         for i in 0..4 {
             c.fail_node(SimTime::from_secs(1), MdsId(i));
         }
+    }
+
+    #[test]
+    fn crash_clears_the_load_signal() {
+        let mut c = tiny_cluster(StrategyKind::DynamicSubtree);
+        c.hb_served[2] = 9_999;
+        c.hb_misses[2] = 123;
+        c.hb_ewma[2] = 77_000.0;
+        c.busy_streak[2] = 4;
+        c.fail_node(SimTime::from_secs(1), MdsId(2));
+        assert_eq!(c.hb_ewma[2], 0.0);
+        assert_eq!(c.busy_streak[2], 0);
+        assert_eq!(c.hb_served[2], 0);
+        assert_eq!(c.hb_misses[2], 0);
     }
 
     #[test]

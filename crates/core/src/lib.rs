@@ -31,6 +31,7 @@ pub mod check;
 pub mod client;
 pub mod cluster;
 pub mod config;
+pub mod elastic;
 pub mod failover;
 pub mod fault;
 pub mod node;
@@ -46,8 +47,9 @@ pub mod traffic;
 pub use failover::FAILOVER_TIMEOUT;
 
 pub use check::{AppliedOp, DstProbe};
-pub use cluster::Cluster;
-pub use config::{CostModel, SimConfig};
+pub use cluster::{Cluster, MigrationRecord};
+pub use config::{CostModel, ElasticConfig, SimConfig};
+pub use elastic::ElasticState;
 pub use fault::{ChurnSpec, DiskScope, FaultEvent, FaultSchedule, NetFaultSpec, RetryPolicy};
 pub use obs::{ClusterObs, ObsExport};
 pub use report::{NodeSnapshot, SimReport};

@@ -316,7 +316,9 @@ pub fn expected_authority(cl: &Cluster, id: InodeId) -> MdsId {
         }
     }
     match cl.cfg.strategy {
-        StrategyKind::StaticSubtree | StrategyKind::DynamicSubtree => {
+        StrategyKind::StaticSubtree
+        | StrategyKind::DynamicSubtree
+        | StrategyKind::ElasticSubtree => {
             let sub = cl.partition.as_subtree().expect("subtree strategy");
             if let Some(m) = sub.delegation_of(id) {
                 return m;

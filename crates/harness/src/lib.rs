@@ -16,6 +16,7 @@
 
 pub mod ablation;
 pub mod availability;
+pub mod elasticrun;
 pub mod flashrun;
 pub mod hitrate;
 pub mod parallel;

@@ -90,8 +90,12 @@ pub fn scaling_config(strategy: StrategyKind, n_mds: u16, scale: ExperimentScale
     cfg.cache_capacity = scale.cache_capacity();
     cfg.journal_capacity = scale.cache_capacity() * 4;
     cfg.n_osds = (n_mds as usize * 2).max(8);
-    cfg.traffic_control = strategy == StrategyKind::DynamicSubtree;
-    cfg.balancing = strategy == StrategyKind::DynamicSubtree;
+    // Identical to the old `== DynamicSubtree` check for the five paper
+    // strategies; additionally keeps the balancer on for the elastic
+    // strategy, whose scale-outs rely on it to migrate load onto newly
+    // activated nodes.
+    cfg.traffic_control = strategy.rebalances();
+    cfg.balancing = strategy.rebalances();
     cfg.seed = 1000 + n_mds as u64;
     cfg
 }

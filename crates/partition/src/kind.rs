@@ -2,7 +2,8 @@
 
 use std::fmt;
 
-/// The five strategies compared in the paper's evaluation.
+/// The five strategies compared in the paper's evaluation, plus the
+/// elastic extension (ROADMAP item 3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum StrategyKind {
     /// Subtree delegation fixed at the initial partition (§3.1.1).
@@ -16,10 +17,20 @@ pub enum StrategyKind {
     FileHash,
     /// Lazy Hybrid: file-path hashing with dual-entry ACLs (§3.1.3).
     LazyHybrid,
+    /// Dynamic subtree partitioning *plus* λFS-style elastic node
+    /// add/remove driven by the same heartbeat load signal. Not part of
+    /// the paper's evaluation, so deliberately excluded from [`ALL`] —
+    /// every figure that sweeps `ALL` keeps its golden output.
+    ///
+    /// [`ALL`]: StrategyKind::ALL
+    ElasticSubtree,
 }
 
 impl StrategyKind {
-    /// All strategies, in the order the paper's figures list them.
+    /// The paper's five strategies, in the order its figures list them.
+    /// [`ElasticSubtree`](StrategyKind::ElasticSubtree) is compared
+    /// against these in the `elasticity` experiment but is not listed
+    /// here (the paper's figures predate it).
     pub const ALL: [StrategyKind; 5] = [
         StrategyKind::StaticSubtree,
         StrategyKind::DynamicSubtree,
@@ -36,6 +47,7 @@ impl StrategyKind {
             StrategyKind::DirHash => "DirHash",
             StrategyKind::FileHash => "FileHash",
             StrategyKind::LazyHybrid => "LazyHybrid",
+            StrategyKind::ElasticSubtree => "ElasticSubtree",
         }
     }
 
@@ -44,9 +56,10 @@ impl StrategyKind {
     /// hashing scatters siblings and must use a per-inode table.
     pub fn embeds_inodes(self) -> bool {
         match self {
-            StrategyKind::StaticSubtree | StrategyKind::DynamicSubtree | StrategyKind::DirHash => {
-                true
-            }
+            StrategyKind::StaticSubtree
+            | StrategyKind::DynamicSubtree
+            | StrategyKind::DirHash
+            | StrategyKind::ElasticSubtree => true,
             StrategyKind::FileHash | StrategyKind::LazyHybrid => false,
         }
     }
@@ -60,12 +73,19 @@ impl StrategyKind {
     /// Whether the placement follows the hierarchy (subtree strategies) as
     /// opposed to scattering it by hash.
     pub fn is_subtree(self) -> bool {
-        matches!(self, StrategyKind::StaticSubtree | StrategyKind::DynamicSubtree)
+        matches!(
+            self,
+            StrategyKind::StaticSubtree
+                | StrategyKind::DynamicSubtree
+                | StrategyKind::ElasticSubtree
+        )
     }
 
-    /// Whether the runtime load balancer is active.
+    /// Whether the runtime load balancer is active. Elasticity builds on
+    /// the balancer: migration is how departing nodes hand work off and
+    /// how arriving nodes pick it up.
     pub fn rebalances(self) -> bool {
-        matches!(self, StrategyKind::DynamicSubtree)
+        matches!(self, StrategyKind::DynamicSubtree | StrategyKind::ElasticSubtree)
     }
 }
 
@@ -111,6 +131,15 @@ mod tests {
         for k in StrategyKind::ALL {
             assert_eq!(k.rebalances(), k == StrategyKind::DynamicSubtree);
         }
+    }
+
+    #[test]
+    fn elastic_is_a_rebalancing_subtree_strategy_outside_all() {
+        let e = StrategyKind::ElasticSubtree;
+        assert!(!StrategyKind::ALL.contains(&e), "paper figures stay five-way");
+        assert!(e.is_subtree() && e.rebalances() && e.embeds_inodes());
+        assert!(e.needs_path_traversal());
+        assert_eq!(e.to_string(), "ElasticSubtree");
     }
 
     #[test]

@@ -57,7 +57,9 @@ impl Partition {
     /// strategies hash directories near the root across the cluster.
     pub fn initial(kind: StrategyKind, ns: &Namespace, n_mds: u16) -> Partition {
         match kind {
-            StrategyKind::StaticSubtree | StrategyKind::DynamicSubtree => {
+            StrategyKind::StaticSubtree
+            | StrategyKind::DynamicSubtree
+            | StrategyKind::ElasticSubtree => {
                 Partition::Subtree(SubtreePartition::initial_near_root(ns, n_mds, 2))
             }
             StrategyKind::DirHash => {

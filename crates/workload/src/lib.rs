@@ -20,6 +20,7 @@
 //! scenario: mid-run, half the clients migrate their activity into one
 //! server's subtree and turn create-heavy.
 
+pub mod diurnal;
 pub mod flash;
 pub mod general;
 pub mod hotset;
@@ -28,6 +29,7 @@ pub mod scale;
 pub mod shift;
 pub mod trace;
 
+pub use diurnal::{BurstyWorkload, DiurnalWorkload};
 pub use flash::{BurstKind, FlashCrowd, ScientificWorkload, WriteCrowd};
 pub use general::{GeneralWorkload, WorkloadConfig};
 pub use hotset::HotSetWorkload;
@@ -53,5 +55,13 @@ pub trait Workload {
     /// by workloads that only touch world-readable trees).
     fn uid_of(&self, _client: ClientId) -> u32 {
         0
+    }
+
+    /// Multiplier on the mean client think time at virtual time `now`.
+    /// Long-horizon generators ([`diurnal`]) modulate offered load by
+    /// stretching think time; the default of exactly `1.0` leaves every
+    /// stationary workload's timing bit-identical (`mean * 1.0 == mean`).
+    fn think_scale(&self, _now: SimTime) -> f64 {
+        1.0
     }
 }

@@ -40,6 +40,9 @@ struct Args {
     command: String,
     obs: ObsConfig,
     faults: Option<dynmds_core::FaultSchedule>,
+    /// Event-queue shards for stages on the sharded engine (`elasticity`);
+    /// the CSV is invariant to this by construction.
+    shards: usize,
 }
 
 fn parse_args() -> Args {
@@ -48,11 +51,16 @@ fn parse_args() -> Args {
     let mut command = None;
     let mut obs = ObsConfig::default();
     let mut faults = None;
+    let mut shards = 1usize;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => scale = ExperimentScale::Quick,
             "--csv" => csv_dir = Some(it.next().unwrap_or_else(|| usage("missing --csv DIR"))),
+            "--shards" => {
+                let v = it.next().unwrap_or_else(|| usage("missing --shards K"));
+                shards = v.parse().unwrap_or_else(|_| usage(&format!("bad --shards: {v}")));
+            }
             "--faults" => {
                 let spec = it.next().unwrap_or_else(|| usage("missing --faults SPEC"));
                 faults = Some(
@@ -72,7 +80,14 @@ fn parse_args() -> Args {
             other => usage(&format!("unknown argument: {other}")),
         }
     }
-    Args { scale, csv_dir, command: command.unwrap_or_else(|| "all".to_string()), obs, faults }
+    Args {
+        scale,
+        csv_dir,
+        command: command.unwrap_or_else(|| "all".to_string()),
+        obs,
+        faults,
+        shards,
+    }
 }
 
 fn usage(err: &str) -> ! {
@@ -80,8 +95,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: experiments [--quick] [--csv DIR] [--obs|--obs-trace] [--faults SPEC] \
-         <fig2|fig3|fig4|fig5|fig6|fig7|sci|ablate-prefetch|ablate-balance|ablate-dirhash|ablate-warming|ablate-leases|ablate-shared-writes|ablate-probation|availability|all|bench|obs>\n\
+        "usage: experiments [--quick] [--csv DIR] [--obs|--obs-trace] [--faults SPEC] [--shards K] \
+         <fig2|fig3|fig4|fig5|fig6|fig7|sci|ablate-prefetch|ablate-balance|ablate-dirhash|ablate-warming|ablate-leases|ablate-shared-writes|ablate-probation|availability|elasticity|all|bench|obs>\n\
          \n\
          or:    experiments torture [--seeds N] [--seed-base B] [--ops K] [--strategy NAME|all]\n\
          \u{20}                     [--out DIR] [--shrink-budget P] [--no-repeat-check] [--threads T]\n\
@@ -746,6 +761,17 @@ fn main() {
                     "Table D: journal cache warming on failover (post-failure window)",
                     &pts,
                 ),
+            )])
+        }));
+    }
+
+    if want("elasticity") {
+        stages.push(Box::new(|| {
+            eprintln!("running elastic-provisioning experiment (diurnal workload)...");
+            let pts = dynmds_harness::elasticrun::run_elasticity(scale, args.shards, None);
+            StageOut::tables(vec![(
+                "elasticity",
+                dynmds_harness::elasticrun::elasticity_table(&pts),
             )])
         }));
     }

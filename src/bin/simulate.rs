@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! simulate [flags]
-//!   --strategy  static|dynamic|dirhash|filehash|lazyhybrid   (dynamic)
+//!   --strategy  static|dynamic|dirhash|filehash|lazyhybrid|elastic (dynamic)
 //!   --mds N             servers                               (8)
 //!   --clients N         clients                               (80)
 //!   --items N           metadata items in the snapshot        (32000)
@@ -14,7 +14,9 @@
 //!   --seed N            RNG seed                              (7)
 //!   --shards N          run the sharded engine on N event queues (0 = legacy serial engine)
 //!   --threads N         worker threads for the shard fan-out   (worker policy)
-//!   --workload general|scientific|hotset                      (general)
+//!   --workload general|scientific|hotset|diurnal              (general)
+//!   --diurnal-period N  diurnal day length, virtual seconds    (4)
+//!   --night-mult X      night think-time multiplier            (150)
 //!   --leases            enable client metadata leases
 //!   --shared-writes     enable GPFS-style shared writes
 //!   --no-balancing      disable the load balancer
@@ -44,7 +46,7 @@ use dynmds_metrics::Table;
 use dynmds_namespace::{MdsId, Namespace, NamespaceSpec, Snapshot};
 use dynmds_partition::StrategyKind;
 use dynmds_workload::{
-    GeneralWorkload, HotSetWorkload, ScientificWorkload, Workload, WorkloadConfig,
+    DiurnalWorkload, GeneralWorkload, HotSetWorkload, ScientificWorkload, Workload, WorkloadConfig,
 };
 
 struct Args {
@@ -60,6 +62,8 @@ struct Args {
     shards: usize,
     threads: Option<usize>,
     workload: String,
+    diurnal_period: u64,
+    night_mult: f64,
     leases: bool,
     shared_writes: bool,
     no_balancing: bool,
@@ -102,6 +106,8 @@ fn parse_args() -> Args {
         shards: 0,
         threads: None,
         workload: "general".into(),
+        diurnal_period: 4,
+        night_mult: 150.0,
         leases: false,
         shared_writes: false,
         no_balancing: false,
@@ -125,6 +131,7 @@ fn parse_args() -> Args {
                     "dirhash" => StrategyKind::DirHash,
                     "filehash" => StrategyKind::FileHash,
                     "lazyhybrid" => StrategyKind::LazyHybrid,
+                    "elastic" => StrategyKind::ElasticSubtree,
                     other => usage(&format!("unknown strategy {other}")),
                 }
             }
@@ -154,6 +161,14 @@ fn parse_args() -> Args {
                     Some(next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --threads")))
             }
             "--workload" => a.workload = next(&mut it, &f),
+            "--diurnal-period" => {
+                a.diurnal_period =
+                    next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --diurnal-period"))
+            }
+            "--night-mult" => {
+                a.night_mult =
+                    next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --night-mult"))
+            }
             "--leases" => a.leases = true,
             "--shared-writes" => a.shared_writes = true,
             "--no-balancing" => a.no_balancing = true,
@@ -227,6 +242,17 @@ fn main() {
             &snapshot.user_homes,
             &snapshot.shared_roots,
             &snapshot.ns,
+        )),
+        "diurnal" => Box::new(DiurnalWorkload::new(
+            GeneralWorkload::new(
+                WorkloadConfig { seed: a.seed ^ 0x17, ..Default::default() },
+                a.n_clients as usize,
+                &snapshot.user_homes,
+                &snapshot.shared_roots,
+                &snapshot.ns,
+            ),
+            SimDuration::from_secs(a.diurnal_period),
+            a.night_mult,
         )),
         "scientific" => {
             let shared_dirs: Vec<_> = snapshot
@@ -372,13 +398,31 @@ fn run_sharded(a: &Args, mut cfg: SimConfig, snapshot: Snapshot) {
                 )) as Box<dyn Workload + Send>
             })
         }
+        "diurnal" => {
+            let homes = snapshot.user_homes.clone();
+            let shared = snapshot.shared_roots.clone();
+            let (period, mult) = (SimDuration::from_secs(a.diurnal_period), a.night_mult);
+            Box::new(move |ns: &Namespace| {
+                Box::new(DiurnalWorkload::new(
+                    GeneralWorkload::new(
+                        WorkloadConfig { seed: seed ^ 0x17, ..Default::default() },
+                        n_clients,
+                        &homes,
+                        &shared,
+                        ns,
+                    ),
+                    period,
+                    mult,
+                )) as Box<dyn Workload + Send>
+            })
+        }
         "hotset" => Box::new(move |ns: &Namespace| {
             Box::new(HotSetWorkload::new(ns, n_clients, 32, seed ^ 0x17))
                 as Box<dyn Workload + Send>
         }),
-        other => {
-            usage(&format!("workload {other} is not supported with --shards (use general|hotset)"))
-        }
+        other => usage(&format!(
+            "workload {other} is not supported with --shards (use general|hotset|diurnal)"
+        )),
     };
 
     let sim = ShardedSimulation::new(cfg, a.shards, a.threads, snapshot, &*factory);

@@ -152,6 +152,39 @@ fn scripted_crashes_fire_from_the_schedule() {
 }
 
 #[test]
+fn balancer_never_names_a_dead_node_under_churn() {
+    // Property check for the two liveness bugs: with generated churn and
+    // the balancer both active, every migration the balancer performs
+    // must have a live exporter (the busy-node pick used to ignore
+    // liveness) and a live importer (dead nodes used to keep their
+    // stale EWMA and attract load). The audit trail records liveness at
+    // migration time, so the property is checked exactly where the old
+    // code went wrong, not from end-of-run state.
+    let mut cfg = config(StrategyKind::DynamicSubtree);
+    cfg.heartbeat = SimDuration::from_secs(1);
+    cfg.faults = churn_schedule();
+    let mut s = sim_with(cfg);
+    s.cluster_mut().migration_log = Some(Vec::new());
+    s.run_until(SimTime::from_secs(16));
+    let c = s.cluster();
+    assert!(c.failures > 0, "churn must actually kill nodes");
+    let log = c.migration_log.as_ref().unwrap();
+    assert!(!log.is_empty(), "the balancer must act for this test to bite");
+    for rec in log {
+        assert!(
+            rec.from_alive && rec.to_alive,
+            "migration of {root} at {at:?} named a dead node: {from:?} (alive {fa}) -> {to:?} (alive {ta})",
+            root = rec.root,
+            at = rec.at,
+            from = rec.from,
+            fa = rec.from_alive,
+            to = rec.to,
+            ta = rec.to_alive,
+        );
+    }
+}
+
+#[test]
 fn availability_experiment_is_deterministic() {
     let schedule = default_schedule(ExperimentScale::Quick);
     let csv = |pts: Vec<_>| availability_table(&pts).to_csv();
