@@ -26,6 +26,9 @@ impl Cluster {
     /// Window counters reset afterwards.
     pub(crate) fn heartbeat(&mut self, now: SimTime) {
         self.flush_shared_writes(now);
+        if !self.proxies.is_empty() {
+            self.flush_proxy_writes(now);
+        }
         self.traffic_sweep(now);
         // Exponentially smoothed per-node load; raw windows are too noisy
         // to migrate on.

@@ -52,6 +52,38 @@ pub struct AppliedOp {
     pub shared_absorbed: bool,
 }
 
+/// One entry of the probe's record stream, in decision order. Mutations
+/// and proxy-absorbed answers share one log so the oracle can check each
+/// proxy serve against the model state *at the instant the proxy decided
+/// to answer* (the proxy's linearization point).
+#[derive(Clone, Debug)]
+pub enum DstRecord {
+    /// `apply_update` ran for a mutation.
+    Applied(AppliedOp),
+    /// A proxy answered a lookup negatively from its cache; the model
+    /// must agree the name is absent right now.
+    ProxyNegServe {
+        /// When the proxy decided.
+        at: SimTime,
+        /// The asking client.
+        client: ClientId,
+        /// Directory searched.
+        dir: InodeId,
+        /// Name the proxy claims is absent.
+        name: String,
+    },
+    /// A proxy answered a read of `item` from its cache; the model must
+    /// agree the inode is alive.
+    ProxyReadServe {
+        /// When the proxy decided.
+        at: SimTime,
+        /// The asking client.
+        client: ClientId,
+        /// Item served from the proxy cache.
+        item: InodeId,
+    },
+}
+
 /// Per-client state of the current logical operation.
 #[derive(Clone, Copy, Debug, Default)]
 struct Flight {
@@ -67,8 +99,8 @@ struct Flight {
 #[derive(Debug, Default)]
 pub struct DstProbe {
     flights: Vec<Flight>,
-    /// Applied-op log since the last [`take_applied`](Self::take_applied).
-    applied: Vec<AppliedOp>,
+    /// Record stream since the last [`take_records`](Self::take_records).
+    applied: Vec<DstRecord>,
     /// Invariant violations since the last drain, in detection order.
     violations: Vec<String>,
     /// Lifetime count of applied-op records (survives drains).
@@ -81,8 +113,8 @@ impl DstProbe {
         DstProbe { flights: vec![Flight::default(); n_clients], ..Default::default() }
     }
 
-    /// Drains the applied-op log (application order).
-    pub fn take_applied(&mut self) -> Vec<AppliedOp> {
+    /// Drains the record stream (decision order).
+    pub fn take_records(&mut self) -> Vec<DstRecord> {
         std::mem::take(&mut self.applied)
     }
 
@@ -182,7 +214,7 @@ impl DstProbe {
         shared_absorbed: bool,
     ) {
         self.applied_total += 1;
-        self.applied.push(AppliedOp {
+        self.applied.push(DstRecord::Applied(AppliedOp {
             at,
             mds,
             client,
@@ -191,7 +223,43 @@ impl DstProbe {
             applied,
             primary,
             shared_absorbed,
-        });
+        }));
+    }
+
+    /// A proxy is about to answer an op from its own caches. Hop
+    /// accounting invariant: an absorbed op never entered the cluster, so
+    /// its flight must show zero arrivals-with-hops and zero forwards.
+    fn check_proxy_flight(&mut self, now: SimTime, client: ClientId, what: &str) {
+        let Some(f) = self.flights.get(client.index()) else { return };
+        if f.hops_seen != 0 || f.forwards != 0 {
+            self.violations.push(format!(
+                "client {} at {}us: proxy {} absorbed an op that already entered \
+                 the cluster ({} hops, {} forwards)",
+                client.0,
+                now.as_micros(),
+                what,
+                f.hops_seen,
+                f.forwards
+            ));
+        }
+    }
+
+    /// A proxy served a negative lookup from its cache.
+    pub(crate) fn on_proxy_neg_serve(
+        &mut self,
+        now: SimTime,
+        client: ClientId,
+        dir: InodeId,
+        name: &str,
+    ) {
+        self.check_proxy_flight(now, client, "neg-lookup");
+        self.applied.push(DstRecord::ProxyNegServe { at: now, client, dir, name: name.to_owned() });
+    }
+
+    /// A proxy served a read from its cache.
+    pub(crate) fn on_proxy_read_serve(&mut self, now: SimTime, client: ClientId, item: InodeId) {
+        self.check_proxy_flight(now, client, "read");
+        self.applied.push(DstRecord::ProxyReadServe { at: now, client, item });
     }
 }
 
@@ -246,10 +314,34 @@ mod tests {
                 false,
             );
         }
-        let log = p.take_applied();
+        let log = p.take_records();
         assert_eq!(log.len(), 3);
-        assert!(log.windows(2).all(|w| w[0].at <= w[1].at));
+        let ats: Vec<SimTime> = log
+            .iter()
+            .map(|r| match r {
+                DstRecord::Applied(a) => a.at,
+                other => panic!("expected Applied, got {other:?}"),
+            })
+            .collect();
+        assert!(ats.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(p.applied_total, 3);
-        assert!(p.take_applied().is_empty());
+        assert!(p.take_records().is_empty());
+    }
+
+    #[test]
+    fn proxy_absorb_after_cluster_entry_is_flagged() {
+        let mut p = DstProbe::new(1);
+        p.on_issue(ClientId(0));
+        p.on_proxy_neg_serve(SimTime::from_micros(1), ClientId(0), InodeId(4), "x");
+        assert!(!p.has_violations(), "fresh flight may absorb");
+        p.on_issue(ClientId(0));
+        p.on_arrive(SimTime::from_micros(2), ClientId(0), 1, 0);
+        p.on_proxy_read_serve(SimTime::from_micros(3), ClientId(0), InodeId(4));
+        assert!(p.has_violations(), "op already inside the cluster must not be absorbed");
+        let v = p.take_violations();
+        assert!(v[0].contains("proxy read absorbed"), "{}", v[0]);
+        let recs = p.take_records();
+        assert!(matches!(recs[0], DstRecord::ProxyNegServe { .. }));
+        assert!(matches!(recs[1], DstRecord::ProxyReadServe { .. }));
     }
 }

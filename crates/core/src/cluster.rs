@@ -168,6 +168,22 @@ pub struct Cluster {
     /// Delta pushes merged at authorities (heartbeat + read callbacks).
     pub shared_write_flushes: u64,
 
+    // --- hotspot proxy tier (ROADMAP item 4) ----------------------------
+    /// The proxies fronting the cluster (empty = tier disabled; every
+    /// proxy code path is gated on non-emptiness so proxy-off runs are
+    /// byte-identical to pre-proxy builds).
+    pub(crate) proxies: Vec<dynmds_proxy::ProxyCore>,
+    /// Items with coalesced proxy write deltas not yet at the authority.
+    pub(crate) proxy_dirty: FxHashSet<InodeId>,
+    /// Ops fully absorbed at a proxy (negative lookups, hot reads,
+    /// coalesced writes) — they never entered the cluster.
+    pub proxy_absorbed: u64,
+    /// Hot ops a proxy relayed into the cluster.
+    pub proxy_forwarded: u64,
+    /// Coalesced item deltas merged at authorities (heartbeat + read
+    /// callbacks).
+    pub proxy_flushes: u64,
+
     // --- observability ---------------------------------------------------
     /// Metrics registry + op-trace spans + snapshots; inert (one branch
     /// per hook) unless enabled through [`SimConfig::obs`].
@@ -264,7 +280,19 @@ impl Cluster {
             traverse_scratch: Vec::new(),
             shared_write_absorbed: 0,
             shared_write_flushes: 0,
-            obs: ClusterObs::new(cfg.obs, n, cfg.n_clients as usize),
+            proxies: (0..cfg.proxy.count)
+                .map(|_| dynmds_proxy::ProxyCore::new(&cfg.proxy))
+                .collect(),
+            proxy_dirty: FxHashSet::default(),
+            proxy_absorbed: 0,
+            proxy_forwarded: 0,
+            proxy_flushes: 0,
+            obs: ClusterObs::with_proxies(
+                cfg.obs,
+                n,
+                cfg.n_clients as usize,
+                cfg.proxy.count as usize,
+            ),
             probe: None,
             measure_start: SimTime::ZERO,
             served_series: vec![TimeSeries::new(); n],
@@ -421,6 +449,17 @@ impl Cluster {
             queue.schedule(now + local, SimEvent::Reply { client });
             return;
         }
+        // Hotspot proxy tier (ROADMAP item 4): the client's proxy observes
+        // every op; hot traffic is absorbed or relayed at the proxy, cold
+        // traffic falls through to the pre-proxy path untouched.
+        let op = if self.proxies.is_empty() {
+            op
+        } else {
+            match self.proxy_route(now, client, op, queue) {
+                Some(op) => op,
+                None => return,
+            }
+        };
         // Subtree strategies: deepest-known-prefix routing (clients are
         // initially ignorant). Hashed strategies: the client computes the
         // placement itself and goes straight to the mapped server.
@@ -441,8 +480,112 @@ impl Cluster {
             issued_at: now,
             hops: 0,
             retries: 0,
+            via_proxy: false,
         };
         self.send_to_mds(now, dest, req, queue);
+    }
+
+    /// Routes one op through the client's proxy. Returns `Some(op)` when
+    /// the target is cold (bypass: the caller continues on the pre-proxy
+    /// path, which draws and emits exactly what it would without the
+    /// tier), `None` when the proxy handled it — either absorbed outright
+    /// (negative lookup / hot cached read / coalesced monotone write) or
+    /// relayed to the authority with `via_proxy` set so the reply teaches
+    /// the proxy's caches.
+    fn proxy_route(
+        &mut self,
+        now: SimTime,
+        client: ClientId,
+        op: Op,
+        queue: &mut EventQueue<SimEvent>,
+    ) -> Option<Op> {
+        let p = client.0 as usize % self.proxies.len();
+        let target = op.target();
+        let hot = self.proxies[p].observe(target, now.as_micros());
+        let cpu = SimDuration::from_micros(self.cfg.proxy.proxy_cpu_us);
+        // Absorbed answers cost client→proxy→client plus the proxy's CPU.
+        let reply_at = now + self.cfg.costs.net_hop.saturating_mul(2) + cpu;
+
+        // 1. Negative-lookup cache: a name known to be absent is answered
+        //    at the proxy regardless of heat (the entry only exists
+        //    because the item was hot enough to route here before).
+        if let Op::Lookup { dir, name } = &op {
+            if self.proxies[p].neg_lookup(*dir, name) {
+                if let Some(probe) = self.probe.as_deref_mut() {
+                    probe.on_proxy_neg_serve(now, client, *dir, name);
+                }
+                self.obs.on_proxy_neg_hit(p);
+                self.finish_at_proxy(now, client, reply_at, queue);
+                return None;
+            }
+        }
+
+        if !hot {
+            return Some(op);
+        }
+
+        // 2. Hot read the proxy has read through, with no unflushed
+        //    deltas that could make the cached copy stale.
+        if !op.is_update()
+            && self.proxies[p].is_cached(target)
+            && !self.proxies[p].has_pending(target)
+            && self.ns.is_alive(target)
+        {
+            self.proxies[p].stats.read_absorbs += 1;
+            if let Some(probe) = self.probe.as_deref_mut() {
+                probe.on_proxy_read_serve(now, client, target);
+            }
+            self.obs.on_proxy_read_absorb(p);
+            self.finish_at_proxy(now, client, reply_at, queue);
+            return None;
+        }
+
+        // 3. Coalesce monotone size/mtime bumps against a hot file: ack
+        //    immediately, fold into one delta per item, push at the next
+        //    heartbeat (or earlier, when a read forces a gather).
+        if matches!(op, Op::Close(_) | Op::SetAttr(_))
+            && self.ns.is_alive(target)
+            && !self.ns.is_dir(target)
+        {
+            self.proxies[p].absorb_write(target);
+            self.proxy_dirty.insert(target);
+            self.obs.on_proxy_coalesce(p);
+            self.finish_at_proxy(now, client, reply_at, queue);
+            return None;
+        }
+
+        // 4. Hot but not absorbable: relay to the authority. One proxy
+        //    hop replaces the client's own (possibly stale) routing.
+        self.proxies[p].stats.forwarded += 1;
+        self.proxy_forwarded += 1;
+        self.obs.on_proxy_forward(p);
+        let dest = self.live_authority(self.authority_for_op(&op));
+        let req = Request {
+            client,
+            uid: self.clients.uid(client),
+            op,
+            issued_at: now,
+            hops: 0,
+            retries: 0,
+            via_proxy: true,
+        };
+        self.send_to_mds(now + cpu, dest, req, queue);
+        None
+    }
+
+    /// Completes an op absorbed at a proxy: latency sample, obs span,
+    /// reply to the client. The cluster never saw the op.
+    fn finish_at_proxy(
+        &mut self,
+        now: SimTime,
+        client: ClientId,
+        reply_at: SimTime,
+        queue: &mut EventQueue<SimEvent>,
+    ) {
+        self.proxy_absorbed += 1;
+        self.latency.record(reply_at.saturating_since(now).as_secs_f64());
+        self.obs.on_proxy_serve(reply_at, client.0, now);
+        queue.schedule(reply_at, SimEvent::Reply { client });
     }
 
     /// Puts a request on the wire towards `mds` at `at`, applying the
@@ -608,6 +751,15 @@ impl Cluster {
                 io_done = io_done.max(now + self.cfg.costs.net_hop.saturating_mul(2));
             }
         }
+        // Same callback for coalesced proxy deltas: a read through the
+        // cluster must never observe a counter older than one a proxy
+        // already acked.
+        if !self.proxies.is_empty() && !req.op.is_update() && self.proxy_dirty.contains(&target) {
+            let contributors = self.proxy_gather(now, target);
+            if contributors > 0 {
+                io_done = io_done.max(now + self.cfg.costs.net_hop.saturating_mul(2));
+            }
+        }
         let misses_before = self.nodes[i].win.misses;
         io_done = io_done.max(self.access_target(now, mds, &req.op));
         self.obs.on_target_probe(now, req.client.0, mds, self.nodes[i].win.misses == misses_before);
@@ -690,6 +842,32 @@ impl Cluster {
         });
         self.shared_write_flushes += contributors as u64;
         self.obs.on_shared_flush(contributors as u64);
+        contributors
+    }
+
+    /// Merges all outstanding coalesced proxy deltas for `id` into the
+    /// namespace (one monotone size/mtime bump per absorbed write).
+    /// Returns how many proxies contributed.
+    pub(crate) fn proxy_gather(&mut self, now: SimTime, id: InodeId) -> usize {
+        if !self.proxy_dirty.remove(&id) {
+            return 0;
+        }
+        let mut bumps = 0u64;
+        let mut contributors = 0usize;
+        for pi in 0..self.proxies.len() {
+            if let Some(d) = self.proxies[pi].take_pending(id) {
+                bumps += d;
+                contributors += 1;
+                self.obs.on_proxy_flush(pi, 1);
+            }
+        }
+        if bumps > 0 {
+            let _ = self.ns.update_inode(id, |ino| {
+                ino.size = ino.size.saturating_add(4096 * bumps);
+                ino.mtime_us = ino.mtime_us.max(now.as_micros());
+            });
+        }
+        self.proxy_flushes += contributors as u64;
         contributors
     }
 
@@ -975,6 +1153,14 @@ impl Cluster {
             _ => {}
         }
 
+        // Synchronous proxy invalidation: a committed mutation that can
+        // change a name binding or an item's attributes retracts every
+        // proxy's matching cache entries before the reply leaves, so a
+        // proxy can never serve state older than an acked mutation.
+        if !self.proxies.is_empty() && !touched.is_empty() {
+            self.proxy_invalidate(&req.op, primary);
+        }
+
         if let Some(p) = self.probe.as_deref_mut() {
             p.on_applied(
                 now,
@@ -1006,6 +1192,47 @@ impl Cluster {
             self.store.writeback(now, &self.ns, wb);
         }
         jdone
+    }
+
+    /// Retracts proxy cache entries made stale by a committed mutation.
+    /// Runs on the authority's apply path (before the reply), mirroring
+    /// the §4.2 replica callbacks: binding changes kill the directory's
+    /// negative entries and cached readdir state, attribute changes kill
+    /// the item's cached copy, and a dead inode is purged everywhere.
+    fn proxy_invalidate(&mut self, op: &Op, primary: Option<InodeId>) {
+        match op {
+            Op::Create { dir, name } | Op::Mkdir { dir, name } | Op::Link { dir, name, .. } => {
+                for p in &mut self.proxies {
+                    p.invalidate_name(*dir, name);
+                }
+            }
+            Op::Rename { dir, name, new_name } => {
+                for p in &mut self.proxies {
+                    p.invalidate_name(*dir, new_name);
+                    p.invalidate_name(*dir, name);
+                }
+            }
+            Op::Unlink { dir, .. } => {
+                let dead = primary.filter(|&id| !self.ns.is_alive(id));
+                for p in &mut self.proxies {
+                    p.dir_mutated(*dir);
+                    if let Some(id) = dead {
+                        p.forget_item(id);
+                    }
+                }
+            }
+            Op::Close(f) | Op::SetAttr(f) => {
+                for p in &mut self.proxies {
+                    p.invalidate_item(*f);
+                }
+            }
+            Op::Chmod { target, .. } => {
+                for p in &mut self.proxies {
+                    p.invalidate_item(*target);
+                }
+            }
+            _ => {}
+        }
     }
 
     /// Coherence callbacks for an updated item that other nodes replicate:
@@ -1051,6 +1278,24 @@ impl Cluster {
         queue: &mut EventQueue<SimEvent>,
     ) {
         let target = req.op.target();
+        // A relayed request's reply teaches the proxy's caches: a lookup
+        // that found nothing seeds the negative cache, any other read
+        // seeds the read-through cache.
+        if req.via_proxy && !self.proxies.is_empty() {
+            let p = req.client.0 as usize % self.proxies.len();
+            match &req.op {
+                Op::Lookup { dir, name } if self.ns.lookup(*dir, name).is_err() => {
+                    self.proxies[p].note_negative(*dir, name);
+                }
+                // A lookup hit teaches nothing: only the authority's
+                // "no such entry" verdict is cacheable at the proxy.
+                Op::Lookup { .. } => {}
+                op if !op.is_update() && self.ns.is_alive(target) => {
+                    self.proxies[p].note_cached(target);
+                }
+                _ => {}
+            }
+        }
         if self.cfg.strategy.is_subtree() {
             if self.replicated.contains(&target) {
                 self.clients.learn(req.client, target, KnownLocation::Everywhere);
@@ -1209,6 +1454,7 @@ mod tests {
             issued_at: SimTime::from_millis(1),
             hops: 0,
             retries: 0,
+            via_proxy: false,
         }
     }
 

@@ -178,6 +178,11 @@ pub struct SimConfig {
     /// Observability switches (metrics registry, op-trace spans). Off by
     /// default: the disabled path costs one branch per hook.
     pub obs: dynmds_obs::ObsConfig,
+
+    /// Adaptive hotspot proxy tier (ROADMAP item 4). `count == 0` (the
+    /// default) keeps the tier completely out of the run: no state, no
+    /// extra draws, no new output — proxy-off runs stay byte-identical.
+    pub proxy: dynmds_proxy::ProxyConfig,
 }
 
 impl SimConfig {
@@ -215,6 +220,7 @@ impl SimConfig {
             retry: crate::fault::RetryPolicy::default(),
             faults: crate::fault::FaultSchedule::default(),
             obs: dynmds_obs::ObsConfig::default(),
+            proxy: dynmds_proxy::ProxyConfig::default(),
         }
     }
 

@@ -46,7 +46,7 @@ pub mod traffic;
 
 pub use failover::FAILOVER_TIMEOUT;
 
-pub use check::{AppliedOp, DstProbe};
+pub use check::{AppliedOp, DstProbe, DstRecord};
 pub use cluster::{Cluster, MigrationRecord};
 pub use config::{CostModel, ElasticConfig, SimConfig};
 pub use elastic::ElasticState;

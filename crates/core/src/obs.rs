@@ -30,6 +30,7 @@ pub fn op_kind_tag(kind: dynmds_workload::OpKind) -> &'static str {
     use dynmds_workload::OpKind::*;
     match kind {
         Stat => "stat",
+        Lookup => "lookup",
         Open => "open",
         Close => "close",
         Readdir => "readdir",
@@ -91,6 +92,18 @@ struct Handles {
     // distributions
     latency_us: HistogramId,
     hops: HistogramId,
+    // proxy tier (registered only when the tier is enabled, so proxy-off
+    // exports keep the exact pre-proxy metric set and order)
+    proxy: Option<ProxyHandles>,
+}
+
+struct ProxyHandles {
+    neg_hits: CounterId,
+    read_absorbs: CounterId,
+    coalesced: CounterId,
+    flushed: CounterId,
+    forwarded: CounterId,
+    n_proxies: usize,
 }
 
 struct Inner {
@@ -108,8 +121,16 @@ pub struct ClusterObs {
 }
 
 impl ClusterObs {
-    /// Builds the layer for `n_mds` servers and `n_clients` clients.
+    /// Builds the layer for `n_mds` servers and `n_clients` clients,
+    /// without proxy instruments.
     pub fn new(cfg: ObsConfig, n_mds: usize, n_clients: usize) -> Self {
+        Self::with_proxies(cfg, n_mds, n_clients, 0)
+    }
+
+    /// Builds the layer; `n_proxies > 0` additionally registers the proxy
+    /// tier's counters (after every pre-existing metric, so proxy-off
+    /// exports are byte-identical to [`ClusterObs::new`]).
+    pub fn with_proxies(cfg: ObsConfig, n_mds: usize, n_clients: usize, n_proxies: usize) -> Self {
         if !cfg.enabled() {
             return ClusterObs { inner: None };
         }
@@ -147,6 +168,14 @@ impl ClusterObs {
             net_dup: reg.counter("net_messages_duplicated", 1),
             latency_us: reg.histogram("latency_us", LATENCY_BOUNDS_US),
             hops: reg.histogram("hops", HOPS_BOUNDS),
+            proxy: (n_proxies > 0).then(|| ProxyHandles {
+                neg_hits: reg.counter("proxy_neg_hits", n_proxies),
+                read_absorbs: reg.counter("proxy_read_absorbs", n_proxies),
+                coalesced: reg.counter("proxy_writes_coalesced", n_proxies),
+                flushed: reg.counter("proxy_flushed_items", n_proxies),
+                forwarded: reg.counter("proxy_forwarded", n_proxies),
+                n_proxies,
+            }),
         };
         let spans = cfg.trace.then(|| SpanRecorder::new(n_clients, cfg.ring_capacity()));
         let snaps = SnapshotSeries::new(SNAPSHOT_FIELDS, n_mds);
@@ -438,6 +467,65 @@ impl ClusterObs {
         inner.reg.add(inner.h.warmed_items, mds.index(), n);
     }
 
+    // ---- proxy-tier hooks (no-ops unless built `with_proxies`) ---------
+
+    /// Proxy `p` answered an op from its own caches: the op never entered
+    /// the cluster. Records latency and a zero hop count, closes the span.
+    #[inline]
+    pub fn on_proxy_serve(&mut self, reply_at: SimTime, client: u32, issued_at: SimTime) {
+        let Some(inner) = &mut self.inner else { return };
+        inner.reg.observe(inner.h.latency_us, reply_at.saturating_since(issued_at).as_micros());
+        inner.reg.observe(inner.h.hops, 0);
+        if let Some(spans) = &mut inner.spans {
+            spans.finish(client, SpanStage::Reply, reply_at.as_micros(), NO_MDS);
+        }
+    }
+
+    /// Proxy `p` served a negative lookup from its cache.
+    #[inline]
+    pub fn on_proxy_neg_hit(&mut self, p: usize) {
+        let Some(inner) = &mut self.inner else { return };
+        if let Some(ph) = &inner.h.proxy {
+            inner.reg.inc(ph.neg_hits, p);
+        }
+    }
+
+    /// Proxy `p` absorbed a read of a hot cached item.
+    #[inline]
+    pub fn on_proxy_read_absorb(&mut self, p: usize) {
+        let Some(inner) = &mut self.inner else { return };
+        if let Some(ph) = &inner.h.proxy {
+            inner.reg.inc(ph.read_absorbs, p);
+        }
+    }
+
+    /// Proxy `p` coalesced a monotone write.
+    #[inline]
+    pub fn on_proxy_coalesce(&mut self, p: usize) {
+        let Some(inner) = &mut self.inner else { return };
+        if let Some(ph) = &inner.h.proxy {
+            inner.reg.inc(ph.coalesced, p);
+        }
+    }
+
+    /// Proxy `p` pushed `n` coalesced item deltas to authorities.
+    #[inline]
+    pub fn on_proxy_flush(&mut self, p: usize, n: u64) {
+        let Some(inner) = &mut self.inner else { return };
+        if let Some(ph) = &inner.h.proxy {
+            inner.reg.add(ph.flushed, p, n);
+        }
+    }
+
+    /// Proxy `p` relayed a hot request into the cluster.
+    #[inline]
+    pub fn on_proxy_forward(&mut self, p: usize) {
+        let Some(inner) = &mut self.inner else { return };
+        if let Some(ph) = &inner.h.proxy {
+            inner.reg.inc(ph.forwarded, p);
+        }
+    }
+
     // ---- snapshots, reset, export -------------------------------------
 
     /// Appends one snapshot row (field-major over [`SNAPSHOT_FIELDS`]).
@@ -522,6 +610,17 @@ impl ClusterObs {
             reg.counter_total(h.net_lost),
             reg.counter_total(h.net_dup),
         ));
+        if let Some(ph) = &h.proxy {
+            out.push_str(&format!(
+                "proxy ({}): neg hits {}, read absorbs {}, coalesced {}, flushed {}, forwarded {}\n",
+                ph.n_proxies,
+                reg.counter_total(ph.neg_hits),
+                reg.counter_total(ph.read_absorbs),
+                reg.counter_total(ph.coalesced),
+                reg.counter_total(ph.flushed),
+                reg.counter_total(ph.forwarded),
+            ));
+        }
         out.push_str(&format!(
             "snapshots: {} rows × {} fields",
             inner.snaps.len(),

@@ -20,6 +20,9 @@ pub struct Request {
     /// How many times the client has re-driven it after a dead-node
     /// timeout or a lost message (bounded by the retry policy).
     pub retries: u8,
+    /// Whether a proxy relayed this request into the cluster (the reply
+    /// then teaches the proxy's caches instead of the client's routes).
+    pub via_proxy: bool,
 }
 
 /// The simulator's event alphabet.
@@ -81,6 +84,7 @@ mod tests {
             issued_at: SimTime::from_micros(12),
             hops: 0,
             retries: 0,
+            via_proxy: false,
         };
         assert_eq!(r.op.target(), InodeId(9));
         assert_eq!(r.client, ClientId(3));

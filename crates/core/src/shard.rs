@@ -145,7 +145,8 @@ enum Ev {
         seq: u64,
     },
     /// A reply (or, with `ok == false`, the simulator's omniscient
-    /// lost-message notification) arrives at a client.
+    /// lost-message notification) arrives at a client. `from_proxy`
+    /// marks answers absorbed at a proxy (no route or lease learned).
     Reply {
         client: ClientId,
         op_seq: u32,
@@ -153,28 +154,41 @@ enum Ev {
         server: MdsId,
         lease_until: u64,
         ok: bool,
+        from_proxy: bool,
         src: u64,
         seq: u64,
     },
+    /// A hot-item op arrives at proxy `p` (hotspot proxy tier).
+    PReq { p: u16, client: ClientId, op_seq: u32, item: InodeId, write: bool, src: u64, seq: u64 },
+    /// A coalesced write delta arrives at the authority from a proxy
+    /// (heartbeat flush).
+    Coalesced { node: MdsId, item: InodeId, delta: u64, src: u64, seq: u64 },
 }
 
-/// Sender ranks: nodes order before clients, both by id.
+/// Sender ranks: nodes order before clients, clients before proxies,
+/// each by id.
 fn node_rank(m: MdsId) -> u64 {
     m.0 as u64
 }
 fn client_rank(c: ClientId) -> u64 {
     (1 << 32) | c.0 as u64
 }
+fn proxy_rank(p: u16) -> u64 {
+    (2 << 32) | p as u64
+}
 
 /// Canonical same-timestamp ordering key — a pure function of the event
 /// content, never of queue insertion order, so it is identical for every
-/// shard count.
+/// shard count. `Coalesced` shares the node-inbound class with `Request`
+/// (per-source send sequences keep the pairs totally ordered).
 fn canonical_key(ev: &Ev) -> (u8, u64, u64, u64) {
     match ev {
         Ev::Request { node, src, seq, .. } => (0, node.0 as u64, *src, *seq),
+        Ev::Coalesced { node, src, seq, .. } => (0, node.0 as u64, *src, *seq),
         Ev::Reply { client, src, seq, .. } => (1, client.0 as u64, *src, *seq),
         Ev::Retry { client, op_seq } => (2, client.0 as u64, *op_seq as u64, 0),
         Ev::Issue(c) => (3, c.0 as u64, 0, 0),
+        Ev::PReq { p, src, seq, .. } => (4, proxy_rank(*p), *src, *seq),
     }
 }
 
@@ -279,6 +293,38 @@ struct ShardNode {
     /// balancer load deltas.
     hb_served: u64,
     hb_fetches: u64,
+    /// Hot-object detector feeding the proxy tier (touched only when the
+    /// tier is enabled; records reads *and* writes, unlike `popularity`).
+    proxy_pop: dynmds_proxy::HotDetector,
+    /// Proxy-tier hot candidates observed since the last heartbeat.
+    proxy_hot_pending: Vec<InodeId>,
+}
+
+/// One hotspot proxy as owned by a shard (sharded-engine counterpart of
+/// [`dynmds_proxy::ProxyCore`], reduced to the frozen-namespace op model:
+/// no names, so no negative-lookup cache — reads absorb through the
+/// read-through set, writes coalesce into per-item deltas).
+#[derive(Debug, Default)]
+struct ProxySt {
+    /// Items read through to the authority at least once.
+    cached: FxHashSet<InodeId>,
+    /// Coalesced write deltas awaiting the heartbeat flush.
+    pending: FxHashMap<InodeId, u64>,
+    /// Serial-CPU availability, µs.
+    free_at: u64,
+    send_seq: u64,
+    stats: ProxyShardStats,
+}
+
+/// Commutative proxy counters, aggregated into the report in proxy id
+/// order.
+#[derive(Clone, Copy, Debug, Default)]
+struct ProxyShardStats {
+    absorbed: u64,
+    coalesced: u64,
+    forwarded: u64,
+    flushes: u64,
+    flushed_items: u64,
 }
 
 /// One client as owned by a shard.
@@ -324,6 +370,9 @@ struct World {
     members: Vec<bool>,
     net: Option<NetFaultSpec>,
     replicated: FxHashSet<InodeId>,
+    /// Items the proxy tier serves (heartbeat-announced, like
+    /// `replicated`; empty whenever the tier is disabled).
+    proxy_hot: FxHashSet<InodeId>,
 }
 
 struct Shard {
@@ -336,6 +385,8 @@ struct Shard {
     nodes: Vec<ShardNode>,
     client_lo: u32,
     clients: Vec<ClientSt>,
+    proxy_lo: u16,
+    proxies: Vec<ProxySt>,
     workload: Box<dyn Workload + Send>,
     /// Outgoing messages per destination shard, drained at barriers.
     outbox: Vec<Vec<OutMsg>>,
@@ -353,6 +404,11 @@ fn shard_of_node(m: usize, n_mds: usize, k: usize) -> usize {
 /// Shard that owns client `c`.
 fn shard_of_client(c: u32, n_clients: u32, k: usize) -> usize {
     (c as usize) * k / n_clients as usize
+}
+
+/// Shard that owns proxy `p`.
+fn shard_of_proxy(p: usize, n_proxies: usize, k: usize) -> usize {
+    p * k / n_proxies
 }
 
 /// Picks a uniformly random live node (the traffic-control client
@@ -421,8 +477,14 @@ impl Shard {
             Ev::Request { node, client, op_seq, item, write, hop, .. } => {
                 self.node_request(world, t, node, client, op_seq, item, write, hop);
             }
-            Ev::Reply { client, op_seq, item, server, lease_until, ok, .. } => {
-                self.client_reply(t, client, op_seq, item, server, lease_until, ok);
+            Ev::Reply { client, op_seq, item, server, lease_until, ok, from_proxy, .. } => {
+                self.client_reply(t, client, op_seq, item, server, lease_until, ok, from_proxy);
+            }
+            Ev::PReq { p, client, op_seq, item, write, .. } => {
+                self.proxy_request(world, t, p, client, op_seq, item, write);
+            }
+            Ev::Coalesced { node, item, delta, .. } => {
+                self.node_coalesced(world, t, node, item, delta);
             }
         }
     }
@@ -489,6 +551,26 @@ impl Shard {
                 }
             }
             cl.pending = Some(PendingOp { item, write, issued: t, retries: 0 });
+        }
+
+        // Hotspot proxy tier: heartbeat-announced hot items route via the
+        // client's proxy, which absorbs or relays them. Proxy links are
+        // modelled as reliable local hops, so this leg draws no loss/dup
+        // randomness; with the tier disabled `proxy_hot` is empty and
+        // this branch is a no-op.
+        let n_proxies = self.cfg.proxy.count;
+        if n_proxies > 0 && world.proxy_hot.contains(&item) {
+            let p = (c.0 % n_proxies as u32) as u16;
+            let dst_shard = shard_of_proxy(p as usize, n_proxies as usize, k);
+            let cl = self.client(c);
+            let seq = cl.send_seq;
+            cl.send_seq += 1;
+            self.send(
+                dst_shard,
+                t,
+                Ev::PReq { p, client: c, op_seq, item, write, src: client_rank(c), seq },
+            );
+            return;
         }
 
         // Route: replicated items may be read anywhere (traffic
@@ -578,6 +660,7 @@ impl Shard {
         server: MdsId,
         lease_until: u64,
         ok: bool,
+        from_proxy: bool,
     ) {
         let think_us = self.think_mean_us(t);
         let cl = self.client(c);
@@ -590,7 +673,9 @@ impl Shard {
             return;
         }
         let p = cl.pending.take().unwrap();
-        cl.routes.insert(item, server);
+        if !from_proxy {
+            cl.routes.insert(item, server);
+        }
         if lease_until > t {
             cl.leases.insert(item, lease_until);
         }
@@ -623,6 +708,8 @@ impl Shard {
         let lease_ttl = self.cfg.lease_ttl.as_micros();
         let traffic_control = self.cfg.traffic_control;
         let threshold = self.cfg.replication_threshold;
+        let proxy_on = self.cfg.proxy.count > 0;
+        let proxy_threshold = self.cfg.proxy.hot_threshold;
         let client_shard = shard_of_client(client.0, n_clients, k);
 
         if !world.alive[m.index()] {
@@ -641,6 +728,7 @@ impl Shard {
                     server: m,
                     lease_until: 0,
                     ok: false,
+                    from_proxy: false,
                     src: node_rank(m),
                     seq,
                 },
@@ -705,6 +793,14 @@ impl Shard {
                 n.hot_pending.push(item);
             }
         }
+        // Hotspot proxy tier: nodes detect hot objects (reads and writes
+        // both count) and announce them at the heartbeat.
+        if proxy_on && !world.proxy_hot.contains(&item) {
+            let v = n.proxy_pop.record(item, t);
+            if v >= proxy_threshold {
+                n.proxy_hot_pending.push(item);
+            }
+        }
         // Reply; in-transit reply loss is drawn from the node's stream.
         let ok = match world.net {
             Some(net) if net.loss_p > 0.0 => !n.rng.chance(net.loss_p),
@@ -717,8 +813,115 @@ impl Shard {
         self.send(
             client_shard,
             done_us,
-            Ev::Reply { client, op_seq, item, server: m, lease_until, ok, src: node_rank(m), seq },
+            Ev::Reply {
+                client,
+                op_seq,
+                item,
+                server: m,
+                lease_until,
+                ok,
+                from_proxy: false,
+                src: node_rank(m),
+                seq,
+            },
         );
+    }
+
+    // --- proxy side ---------------------------------------------------
+
+    /// A hot-item op at proxy `p`: coalesce writes, absorb read-through
+    /// reads, relay the rest to the authority with `hop = 1` (the node
+    /// replies to the client directly; the relay doubles as the proxy's
+    /// read-through fill).
+    #[allow(clippy::too_many_arguments)]
+    fn proxy_request(
+        &mut self,
+        world: &World,
+        t: u64,
+        p: u16,
+        client: ClientId,
+        op_seq: u32,
+        item: InodeId,
+        write: bool,
+    ) {
+        let k = self.outbox.len();
+        let n_mds = self.cfg.n_mds as usize;
+        let client_shard = shard_of_client(client.0, self.cfg.n_clients, k);
+        let cpu = self.cfg.proxy.proxy_cpu_us.max(1);
+        let lo = self.proxy_lo;
+        let px = &mut self.proxies[(p - lo) as usize];
+        let done = px.free_at.max(t) + cpu;
+        px.free_at = done;
+
+        enum Action {
+            Ack,
+            Relay,
+        }
+        let action = if write {
+            *px.pending.entry(item).or_insert(0) += 1;
+            px.stats.coalesced += 1;
+            Action::Ack
+        } else if px.cached.contains(&item) && !px.pending.contains_key(&item) {
+            px.stats.absorbed += 1;
+            Action::Ack
+        } else {
+            px.stats.forwarded += 1;
+            px.cached.insert(item);
+            Action::Relay
+        };
+        let seq = px.send_seq;
+        px.send_seq += 1;
+        match action {
+            Action::Ack => self.send(
+                client_shard,
+                done,
+                Ev::Reply {
+                    client,
+                    op_seq,
+                    item,
+                    server: MdsId(0),
+                    lease_until: 0,
+                    ok: true,
+                    from_proxy: true,
+                    src: proxy_rank(p),
+                    seq,
+                },
+            ),
+            Action::Relay => {
+                let auth = self.partition.authority(&world.snapshot.ns, item);
+                let auth_shard = shard_of_node(auth.index(), n_mds, k);
+                self.send(
+                    auth_shard,
+                    done,
+                    Ev::Request {
+                        node: auth,
+                        client,
+                        op_seq,
+                        item,
+                        write,
+                        hop: 1,
+                        src: proxy_rank(p),
+                        seq,
+                    },
+                );
+            }
+        }
+    }
+
+    /// A coalesced delta lands at the authority: one CPU occupancy and
+    /// one journal commit per item, however many client writes were
+    /// folded into it. A dead authority drops the delta (the sharded
+    /// model has no values to lose, only counters).
+    fn node_coalesced(&mut self, world: &World, t: u64, m: MdsId, item: InodeId, _delta: u64) {
+        if !world.alive[m.index()] {
+            return;
+        }
+        let cpu = self.cfg.costs.cpu_per_op;
+        let now = SimTime::from_micros(t);
+        let n = self.node(m);
+        let _ = n.m.journal.append(item);
+        n.m.occupy(now, cpu);
+        n.m.journal_disk.access(now, AccessKind::Write);
     }
 }
 
@@ -853,6 +1056,8 @@ impl ShardedSimulation {
                     hot_pending: Vec::new(),
                     hb_served: 0,
                     hb_fetches: 0,
+                    proxy_pop: dynmds_proxy::HotDetector::new(cfg.proxy.half_life_us),
+                    proxy_hot_pending: Vec::new(),
                 })
                 .collect();
             let client_lo = (0..n_clients)
@@ -883,6 +1088,14 @@ impl ShardedSimulation {
                 };
                 queue.schedule(SimTime::from_micros(offset), Ev::Issue(ClientId(c)));
             }
+            let n_proxies = cfg.proxy.count as usize;
+            let proxy_lo = (0..n_proxies)
+                .find(|&p| shard_of_proxy(p, n_proxies, k) == s)
+                .unwrap_or(n_proxies) as u16;
+            let proxies: Vec<ProxySt> = (0..n_proxies)
+                .filter(|&p| shard_of_proxy(p, n_proxies, k) == s)
+                .map(|_| ProxySt::default())
+                .collect();
             shard_vec.push(Shard {
                 queue,
                 partition: Partition::initial(cfg.strategy, &snapshot.ns, cfg.n_mds),
@@ -891,6 +1104,8 @@ impl ShardedSimulation {
                 nodes,
                 client_lo,
                 clients,
+                proxy_lo,
+                proxies,
                 workload,
                 outbox: (0..k).map(|_| Vec::new()).collect(),
                 batch: Vec::new(),
@@ -934,6 +1149,7 @@ impl ShardedSimulation {
                 members: vec![true; n_mds],
                 net: None,
                 replicated: FxHashSet::default(),
+                proxy_hot: FxHashSet::default(),
             },
             shards: shard_vec,
             threads,
@@ -1123,6 +1339,19 @@ impl ShardedSimulation {
                 }
             }
         }
+        // Hotspot proxy tier: announce the nodes' hot candidates (same
+        // set semantics as traffic control) and push coalesced deltas to
+        // the authorities.
+        if self.cfg.proxy.enabled() {
+            for shard in &mut self.shards {
+                for n in &mut shard.nodes {
+                    for item in n.proxy_hot_pending.drain(..) {
+                        self.world.proxy_hot.insert(item);
+                    }
+                }
+            }
+            self.flush_proxies(at);
+        }
         if !self.cfg.balancing && !self.cfg.elastic.enabled {
             return;
         }
@@ -1196,6 +1425,57 @@ impl ShardedSimulation {
                 }
             }
         }
+    }
+
+    /// Heartbeat flush of proxy-coalesced write deltas: each proxy (in
+    /// global id order) drains its pending map sorted by item and sends
+    /// one `Coalesced` message per item to the item's live authority
+    /// (ring-walk past dead nodes; a fully-dead cluster drops the
+    /// delta). Deliveries are scheduled at `at + L`, the latency any
+    /// cross-shard message pays; `at` and the message contents are
+    /// K-independent, so the K-invariance argument is untouched.
+    fn flush_proxies(&mut self, at: u64) {
+        let n_mds = self.cfg.n_mds as usize;
+        let k = self.shards.len();
+        let hop = self.window_us;
+        for s in 0..k {
+            for i in 0..self.shards[s].proxies.len() {
+                let mut drained: Vec<(InodeId, u64)> =
+                    self.shards[s].proxies[i].pending.drain().collect();
+                if drained.is_empty() {
+                    continue;
+                }
+                drained.sort();
+                let p = self.shards[s].proxy_lo + i as u16;
+                {
+                    let px = &mut self.shards[s].proxies[i];
+                    px.stats.flushes += 1;
+                    px.stats.flushed_items += drained.len() as u64;
+                }
+                for (item, delta) in drained {
+                    let auth = self.shards[s].partition.authority(&self.world.snapshot.ns, item);
+                    let Some(auth) = self.live_ring(auth) else { continue };
+                    let seq = {
+                        let px = &mut self.shards[s].proxies[i];
+                        let seq = px.send_seq;
+                        px.send_seq += 1;
+                        seq
+                    };
+                    let dst = shard_of_node(auth.index(), n_mds, k);
+                    self.shards[dst].queue.schedule(
+                        SimTime::from_micros(at + hop),
+                        Ev::Coalesced { node: auth, item, delta, src: proxy_rank(p), seq },
+                    );
+                }
+            }
+        }
+    }
+
+    /// First live node at or after `m` in the ring (`None` when the
+    /// whole cluster is down).
+    fn live_ring(&self, m: MdsId) -> Option<MdsId> {
+        let n = self.cfg.n_mds as usize;
+        (0..n).map(|d| (m.index() + d) % n).find(|&i| self.world.alive[i]).map(|i| MdsId(i as u16))
     }
 
     /// One elastic controller step (mirrors the legacy
@@ -1376,6 +1656,9 @@ impl ShardedSimulation {
         for shard in &mut self.shards {
             shard.stats = ShardStats::default();
             shard.lat = LatencyAgg::new();
+            for px in &mut shard.proxies {
+                px.stats = ProxyShardStats::default();
+            }
             for n in &mut shard.nodes {
                 n.m.cache.reset_stats();
                 n.m.life = Default::default();
@@ -1413,6 +1696,7 @@ impl ShardedSimulation {
     pub fn finish(self) -> ShardReport {
         let mut stats = ShardStats::default();
         let mut lat = LatencyAgg::new();
+        let mut ptotals = ProxyShardStats::default();
         let mut nodes = Vec::with_capacity(self.cfg.n_mds as usize);
         for shard in &self.shards {
             stats.ops += shard.stats.ops;
@@ -1422,6 +1706,13 @@ impl ShardedSimulation {
             stats.failed += shard.stats.failed;
             stats.stale += shard.stats.stale;
             lat.merge(&shard.lat);
+            for px in &shard.proxies {
+                ptotals.absorbed += px.stats.absorbed;
+                ptotals.coalesced += px.stats.coalesced;
+                ptotals.forwarded += px.stats.forwarded;
+                ptotals.flushes += px.stats.flushes;
+                ptotals.flushed_items += px.stats.flushed_items;
+            }
             for n in &shard.nodes {
                 let cs = n.m.cache.stats();
                 nodes.push(NodeSnapshot {
@@ -1453,6 +1744,7 @@ impl ShardedSimulation {
                 &nodes,
                 self.migrations,
                 (self.elastic.scale_outs, self.elastic.scale_ins),
+                &ptotals,
                 self.snapshots.as_ref(),
             )
         });
@@ -1460,6 +1752,12 @@ impl ShardedSimulation {
             strategy: self.cfg.strategy,
             n_mds: self.cfg.n_mds,
             shards: self.shards.len(),
+            proxies: self.cfg.proxy.count,
+            proxy_absorbed: ptotals.absorbed,
+            proxy_coalesced: ptotals.coalesced,
+            proxy_forwarded: ptotals.forwarded,
+            proxy_flushed_items: ptotals.flushed_items,
+            proxy_flushes: ptotals.flushes,
             measure_start: SimTime::from_micros(self.measure_start),
             measure_end: SimTime::from_micros(self.now_us),
             nodes,
@@ -1495,6 +1793,19 @@ pub struct ShardReport {
     /// Shard count the run executed with (not part of `render`, which
     /// must be byte-identical across shard counts).
     pub shards: usize,
+    /// Proxy-tier size the run was configured with (0 = tier off; every
+    /// proxy field below is then 0 and absent from `render`).
+    pub proxies: u16,
+    /// Ops absorbed at a proxy (hot cached reads).
+    pub proxy_absorbed: u64,
+    /// Writes coalesced at a proxy (acked immediately, flushed later).
+    pub proxy_coalesced: u64,
+    /// Hot ops a proxy relayed to the authority.
+    pub proxy_forwarded: u64,
+    /// Coalesced item deltas delivered to authorities.
+    pub proxy_flushed_items: u64,
+    /// Heartbeat flush batches with at least one delta.
+    pub proxy_flushes: u64,
     /// Measurement window start.
     pub measure_start: SimTime,
     /// Measurement window end.
@@ -1583,6 +1894,18 @@ impl ShardReport {
                 self.scale_ins
             );
         }
+        if self.proxies > 0 {
+            let _ = writeln!(
+                out,
+                "proxy ({}): absorbed {}  coalesced {}  forwarded {}  flushed {} in {} batches",
+                self.proxies,
+                self.proxy_absorbed,
+                self.proxy_coalesced,
+                self.proxy_forwarded,
+                self.proxy_flushed_items,
+                self.proxy_flushes
+            );
+        }
         let _ = writeln!(
             out,
             "latency µs: mean {:.1}  p50 {}  p99 {}  max {}",
@@ -1616,6 +1939,7 @@ impl ShardReport {
 /// Builds the deterministic obs export from the aggregates: counters in
 /// fixed registration order, per-node slots in id order, latency
 /// buckets, and the barrier-sampled snapshot series.
+#[allow(clippy::too_many_arguments)]
 fn build_obs(
     cfg: &SimConfig,
     stats: &ShardStats,
@@ -1623,6 +1947,7 @@ fn build_obs(
     nodes: &[NodeSnapshot],
     migrations: u64,
     (scale_outs, scale_ins): (u64, u64),
+    ptotals: &ProxyShardStats,
     snapshots: Option<&SnapshotSeries>,
 ) -> crate::obs::ObsExport {
     let n_mds = cfg.n_mds as usize;
@@ -1660,6 +1985,20 @@ fn build_obs(
     }
     for (i, &c) in lat.buckets.iter().enumerate() {
         reg.add(lat_hist, i, c);
+    }
+    // Proxy counters register last and only when the tier is on, so
+    // proxy-off metric exports are byte-identical to pre-proxy builds.
+    if cfg.proxy.count > 0 {
+        let pa = reg.counter("proxy.absorbed", 1);
+        let pc = reg.counter("proxy.coalesced", 1);
+        let pf = reg.counter("proxy.forwarded", 1);
+        let pfi = reg.counter("proxy.flushed_items", 1);
+        let pfb = reg.counter("proxy.flushes", 1);
+        reg.add(pa, 0, ptotals.absorbed);
+        reg.add(pc, 0, ptotals.coalesced);
+        reg.add(pf, 0, ptotals.forwarded);
+        reg.add(pfi, 0, ptotals.flushed_items);
+        reg.add(pfb, 0, ptotals.flushes);
     }
     let snapshots_jsonl = snapshots.map(|s| s.to_jsonl()).unwrap_or_default();
     let summary = format!(
@@ -1748,6 +2087,50 @@ mod tests {
                 base.obs.as_ref().unwrap().snapshots_jsonl,
                 r.obs.as_ref().unwrap().snapshots_jsonl,
                 "obs snapshots diverged at {k} shards"
+            );
+        }
+    }
+
+    /// Proxy-on run over a deliberately narrow hot set so the tier
+    /// actually absorbs work inside a short test window.
+    fn run_proxied(shards: usize) -> ShardReport {
+        use dynmds_workload::FlashCrowd;
+        let mut cfg = SimConfig::small(StrategyKind::DynamicSubtree);
+        cfg.client_leases = false;
+        cfg.obs = dynmds_obs::ObsConfig::metrics_only();
+        cfg.proxy.count = 2;
+        cfg.proxy.hot_threshold = 8.0;
+        let snap = NamespaceSpec::with_target_items(24, 6_000, cfg.seed ^ 0xF5).generate();
+        let n_clients = cfg.n_clients as usize;
+        ShardedSimulation::new(cfg, shards, Some(1), snap, &move |ns| {
+            let target = ns.walk(ns.root()).find(|&i| !ns.is_dir(i)).expect("a file exists");
+            Box::new(FlashCrowd::new(target, n_clients))
+        })
+        .run_measured(SimDuration::from_secs(2), SimDuration::from_secs(4))
+    }
+
+    #[test]
+    fn proxied_run_absorbs_hot_traffic() {
+        let r = run_proxied(1);
+        assert!(r.ops > 1_000, "only {} ops completed", r.ops);
+        assert!(
+            r.proxy_absorbed + r.proxy_coalesced > 0,
+            "flash crowd never engaged the proxies: {r:?}"
+        );
+        assert!(r.proxy_flushed_items <= r.proxy_coalesced);
+    }
+
+    #[test]
+    fn proxied_report_is_invariant_across_shard_counts() {
+        let base = run_proxied(1);
+        assert!(base.proxy_absorbed + base.proxy_coalesced > 0, "tier must act for this to bite");
+        for k in [2usize, 4] {
+            let r = run_proxied(k);
+            assert_eq!(base.render(), r.render(), "render diverged at {k} shards");
+            assert_eq!(
+                base.obs.as_ref().unwrap().metrics_jsonl,
+                r.obs.as_ref().unwrap().metrics_jsonl,
+                "obs metrics diverged at {k} shards"
             );
         }
     }

@@ -65,6 +65,26 @@ impl Cluster {
         }
     }
 
+    /// Heartbeat push of proxy-coalesced write deltas to the authorities:
+    /// one message per dirty (proxy, item) pair, merged at the authority
+    /// exactly like replica shared writes.
+    pub(crate) fn flush_proxy_writes(&mut self, now: SimTime) {
+        if self.proxy_dirty.is_empty() {
+            return;
+        }
+        let mut dirty: Vec<InodeId> = self.proxy_dirty.iter().copied().collect();
+        dirty.sort();
+        let msg = self.cfg.costs.cpu_forward;
+        for id in dirty {
+            let auth = self.live_authority(self.authority_of(id));
+            let contributors = self.proxy_gather(now, id);
+            if contributors > 0 {
+                let cost = msg.saturating_mul(contributors as u64);
+                self.nodes[auth.index()].occupy(now, cost);
+            }
+        }
+    }
+
     /// De-replicates items whose popularity at their authority has decayed
     /// well below the threshold.
     pub(crate) fn traffic_sweep(&mut self, now: SimTime) {

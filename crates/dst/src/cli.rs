@@ -5,7 +5,7 @@
 //! experiments torture [--seeds N] [--seed-base B] [--ops K]
 //!                     [--strategy NAME|all] [--out DIR]
 //!                     [--shrink-budget P] [--no-repeat-check]
-//!                     [--threads T] [--shards K]
+//!                     [--threads T] [--shards K] [--proxy P]
 //! ```
 //!
 //! Output is derived entirely from simulation results (no wall-clock, no
@@ -39,6 +39,10 @@ struct TortureArgs {
     /// engine at 1 shard and at `shards` shards and require byte-equal
     /// reports; a mismatch counts as a failure.
     shards: usize,
+    /// Proxy-count override: force every scenario to run with exactly
+    /// this many hotspot proxies instead of the seeded draw (0 forces
+    /// the tier off everywhere).
+    proxy: Option<u16>,
 }
 
 fn parse_args(args: &[String]) -> Result<TortureArgs, String> {
@@ -52,6 +56,7 @@ fn parse_args(args: &[String]) -> Result<TortureArgs, String> {
         repeat_check: true,
         threads: None,
         shards: 0,
+        proxy: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -86,6 +91,9 @@ fn parse_args(args: &[String]) -> Result<TortureArgs, String> {
                     return Err("--shards must be positive".into());
                 }
                 out.shards = k;
+            }
+            "--proxy" => {
+                out.proxy = Some(val("--proxy")?.parse().map_err(|e| format!("--proxy: {e}"))?)
             }
             "--strategy" => {
                 let v = val("--strategy")?;
@@ -138,7 +146,7 @@ fn shard_cross_check(sc: &Scenario, shards: usize) -> Option<String> {
         let shared = snap.shared_roots.clone();
         let factory =
             |ns: &dynmds_namespace::Namespace| -> Box<dyn dynmds_workload::Workload + Send> {
-                Box::new(sc.workload_parts(&homes, &shared, ns))
+                sc.workload_parts(&homes, &shared, ns)
             };
         let sim = dynmds_core::ShardedSimulation::new(sc.config(), k, Some(1), snap, &factory);
         // The fault schedule is front-loaded into the scenario horizon;
@@ -195,7 +203,13 @@ pub fn run_torture(args: &[String]) -> i32 {
     let scenarios: Vec<Scenario> = (0..args.seeds)
         .flat_map(|i| {
             let seed = args.seed_base + i;
-            args.strategies.iter().map(move |&s| Scenario::from_seed(seed, s, args.ops))
+            args.strategies.iter().map(move |&s| {
+                let mut sc = Scenario::from_seed(seed, s, args.ops);
+                if let Some(p) = args.proxy {
+                    sc.n_proxies = p;
+                }
+                sc
+            })
         })
         .collect();
 

@@ -28,7 +28,7 @@
 
 use std::collections::BTreeMap;
 
-use dynmds_core::{AppliedOp, Cluster};
+use dynmds_core::{AppliedOp, Cluster, DstRecord};
 use dynmds_namespace::{FxHashMap, FxHashSet, InodeId, MdsId, Namespace};
 use dynmds_partition::{dentry_hash, path_hash, StrategyKind};
 use dynmds_workload::Op;
@@ -164,7 +164,7 @@ impl RefModel {
         };
         // What the model says should happen: Some(primary) on success.
         let verdict: Option<InodeId> = match &rec.op {
-            Op::Stat(_) | Op::Open(_) | Op::Readdir(_) => {
+            Op::Stat(_) | Op::Open(_) | Op::Readdir(_) | Op::Lookup { .. } => {
                 report(format!("applied-op log contains non-update {:?}", rec.op.kind()), out);
                 return;
             }
@@ -287,7 +287,9 @@ impl RefModel {
                 self.entries.get_mut(target).expect("target live").nlink += 1;
                 self.anchored.insert(*target);
             }
-            Op::Stat(_) | Op::Open(_) | Op::Readdir(_) => unreachable!("rejected above"),
+            Op::Stat(_) | Op::Open(_) | Op::Readdir(_) | Op::Lookup { .. } => {
+                unreachable!("rejected above")
+            }
         }
     }
 }
@@ -372,16 +374,47 @@ impl Oracle {
     /// so far (over the oracle's whole lifetime).
     pub fn drain_and_check(&mut self, cl: &mut Cluster) -> bool {
         self.checkpoints += 1;
-        let (applied, violations) = match cl.probe.as_deref_mut() {
-            Some(p) => (p.take_applied(), p.take_violations()),
+        let (records, violations) = match cl.probe.as_deref_mut() {
+            Some(p) => (p.take_records(), p.take_violations()),
             None => (Vec::new(), Vec::new()),
         };
         for v in violations {
             self.report(format!("protocol violation: {v}"));
         }
+        // The record stream is in decision order, so every proxy-absorbed
+        // answer is checked against the model state at exactly the
+        // instant the proxy decided (its linearization point).
         let mut msgs = Vec::new();
-        for rec in &applied {
-            self.model.apply(rec, &mut msgs);
+        for rec in &records {
+            match rec {
+                DstRecord::Applied(a) => self.model.apply(a, &mut msgs),
+                DstRecord::ProxyNegServe { at, client, dir, name } => {
+                    if let Some(id) = self.model.lookup(*dir, name) {
+                        push(
+                            &mut msgs,
+                            format!(
+                                "stale negative at {}us: proxy told client {} that {dir}/{name} \
+                                 is absent but the model resolves it to {id}",
+                                at.as_micros(),
+                                client.0
+                            ),
+                        );
+                    }
+                }
+                DstRecord::ProxyReadServe { at, client, item } => {
+                    if !self.model.alive(*item) {
+                        push(
+                            &mut msgs,
+                            format!(
+                                "stale read at {}us: proxy served {item} to client {} but the \
+                                 model says it is dead",
+                                at.as_micros(),
+                                client.0
+                            ),
+                        );
+                    }
+                }
+            }
         }
         for m in msgs {
             self.report(m);

@@ -58,7 +58,7 @@ impl Repro {
         out.push_str(&format!(
             "scenario seed={} strategy={} n_mds={} n_clients={} target_items={} cache={} \
              dir_hash={} shared_writes={} leases={} think_us={} retry_base_us={} retry_max={} \
-             heartbeat_us={} ops_target={} horizon_us={}\n",
+             heartbeat_us={} ops_target={} horizon_us={} proxies={} proxy_thr={}\n",
             sc.seed,
             sc.strategy.label(),
             sc.n_mds,
@@ -74,6 +74,8 @@ impl Repro {
             sc.heartbeat_us,
             sc.ops_target,
             sc.horizon_us,
+            sc.n_proxies,
+            sc.proxy_thr,
         ));
         assert!(sc.faults.churn.is_none(), "repros carry explicit events only (shrink first)");
         for ev in &sc.faults.events {
@@ -128,6 +130,10 @@ impl Repro {
             };
             match &rec.op {
                 TraceOp::Stat(i) => out.push_str(&format!("stat {i}")),
+                TraceOp::Lookup { dir, name } => {
+                    check(name);
+                    out.push_str(&format!("lookup {dir} {name}"));
+                }
                 TraceOp::Open(i) => out.push_str(&format!("open {i}")),
                 TraceOp::Close(i) => out.push_str(&format!("close {i}")),
                 TraceOp::Readdir(i) => out.push_str(&format!("readdir {i}")),
@@ -269,6 +275,21 @@ fn parse_scenario(kv: &std::collections::HashMap<String, String>) -> Result<Scen
     {
         get(kv, k)?.parse().map_err(|e| format!("scenario key `{k}`: {e}"))
     }
+    // Pre-proxy repro files have no `proxies=`/`proxy_thr=` keys; they
+    // replay with the tier off, exactly as they originally ran.
+    fn num_or<T: std::str::FromStr>(
+        kv: &std::collections::HashMap<String, String>,
+        k: &str,
+        default: T,
+    ) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match kv.get(k) {
+            Some(v) => v.parse().map_err(|e| format!("scenario key `{k}`: {e}")),
+            None => Ok(default),
+        }
+    }
     Ok(Scenario {
         seed: num(kv, "seed")?,
         strategy: parse_strategy(get(kv, "strategy")?)?,
@@ -285,6 +306,8 @@ fn parse_scenario(kv: &std::collections::HashMap<String, String>) -> Result<Scen
         heartbeat_us: num(kv, "heartbeat_us")?,
         ops_target: num(kv, "ops_target")?,
         horizon_us: num(kv, "horizon_us")?,
+        n_proxies: num_or(kv, "proxies", 0)?,
+        proxy_thr: num_or(kv, "proxy_thr", 24)?,
         faults: FaultSchedule::default(), // filled by the caller
     })
 }
@@ -349,6 +372,7 @@ fn parse_op<'a, I: Iterator<Item = &'a str>>(words: &mut I) -> Result<TraceRecor
     };
     let op = match kind {
         "stat" => TraceOp::Stat(id("target")?),
+        "lookup" => TraceOp::Lookup { dir: id("dir")?, name: next("name")?.to_string() },
         "open" => TraceOp::Open(id("target")?),
         "close" => TraceOp::Close(id("target")?),
         "readdir" => TraceOp::Readdir(id("target")?),
@@ -408,6 +432,11 @@ mod tests {
         let records = vec![
             TraceRecord { client: 0, at_us: 100, op: TraceOp::Stat(4) },
             TraceRecord {
+                client: 2,
+                at_us: 150,
+                op: TraceOp::Lookup { dir: 5, name: "nl3".into() },
+            },
+            TraceRecord {
                 client: 1,
                 at_us: 200,
                 op: TraceOp::Create { dir: 5, name: "f1".into() },
@@ -445,6 +474,8 @@ mod tests {
         assert_eq!(back.scenario.strategy, r.scenario.strategy);
         assert_eq!(back.scenario.think_us, r.scenario.think_us);
         assert_eq!(back.scenario.horizon_us, r.scenario.horizon_us);
+        assert_eq!(back.scenario.n_proxies, r.scenario.n_proxies);
+        assert_eq!(back.scenario.proxy_thr, r.scenario.proxy_thr);
         // Serializing the parse reproduces the text byte-for-byte.
         assert_eq!(back.to_text(), text);
     }
@@ -468,5 +499,28 @@ mod tests {
         let r = sample();
         let text = r.to_text().replace("strategy=DynamicSubtree", "strategy=Bogus");
         assert!(Repro::parse(&text).is_err(), "unknown strategy");
+    }
+
+    #[test]
+    fn pre_proxy_repros_parse_with_the_tier_off() {
+        let r = sample();
+        // Strip the proxy keys the way an old repro file would lack them.
+        let text = r
+            .to_text()
+            .lines()
+            .map(|l| {
+                if l.starts_with("scenario ") {
+                    l.split_whitespace()
+                        .filter(|w| !w.starts_with("proxies=") && !w.starts_with("proxy_thr="))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = Repro::parse(&text).expect("old format parses");
+        assert_eq!(back.scenario.n_proxies, 0);
     }
 }

@@ -24,7 +24,8 @@ use dynmds_namespace::{ClientId, Namespace, NamespaceSpec, Snapshot};
 use dynmds_partition::StrategyKind;
 use dynmds_storage::DiskFault;
 use dynmds_workload::{
-    GeneralWorkload, Op, OpMix, Trace, TraceOp, TraceRecord, TraceReplay, Workload, WorkloadConfig,
+    GeneralWorkload, LookupChurn, Op, OpMix, Trace, TraceOp, TraceRecord, TraceReplay, Workload,
+    WorkloadConfig,
 };
 
 use crate::oracle::Oracle;
@@ -65,6 +66,11 @@ pub struct Scenario {
     pub ops_target: u64,
     /// Hard stop (virtual time), microseconds.
     pub horizon_us: u64,
+    /// Hotspot proxies in front of the cluster (0 = off).
+    pub n_proxies: u16,
+    /// Proxy hot-detector threshold (stored as an integer so the repro
+    /// text round-trips exactly; the config maps it to `f64`).
+    pub proxy_thr: u64,
     /// Fault schedule (generated: scripted windows + churn; shrunk: an
     /// explicit event list with `churn: None`).
     pub faults: FaultSchedule,
@@ -122,6 +128,11 @@ impl Scenario {
                 spec: NetFaultSpec { loss_p: rng.unit() * 0.06, dup_p: rng.unit() * 0.04 },
             });
         }
+        // Proxy draws come LAST so every earlier field keeps the value it
+        // had before proxies existed — old seeds expand to the same base
+        // scenario plus an independent proxy layer.
+        let n_proxies = if rng.below(100) < 40 { 1 + rng.below(3) as u16 } else { 0 };
+        let proxy_thr = 8 + rng.below(48);
 
         Scenario {
             seed,
@@ -139,6 +150,8 @@ impl Scenario {
             heartbeat_us,
             ops_target,
             horizon_us,
+            n_proxies,
+            proxy_thr,
             faults: FaultSchedule { events, churn },
         }
     }
@@ -167,6 +180,8 @@ impl Scenario {
             jitter_frac: 0.1,
         };
         cfg.faults = self.faults.clone();
+        cfg.proxy.count = self.n_proxies;
+        cfg.proxy.hot_threshold = self.proxy_thr as f64;
         cfg
     }
 
@@ -182,8 +197,11 @@ impl Scenario {
 
     /// The generated workload: a randomized mix biased toward namespace
     /// mutations (links, renames, unlinks) to stress the anchor table and
-    /// cache coherence. Only used when *generating*; replays ignore it.
-    pub fn workload(&self, snap: &Snapshot) -> GeneralWorkload {
+    /// cache coherence. Proxy scenarios additionally wrap the mix in
+    /// [`LookupChurn`] so negative-lookup caching and its invalidation
+    /// paths see real traffic. Only used when *generating*; replays
+    /// ignore it.
+    pub fn workload(&self, snap: &Snapshot) -> Box<dyn Workload + Send> {
         self.workload_parts(&snap.user_homes, &snap.shared_roots, &snap.ns)
     }
 
@@ -196,7 +214,7 @@ impl Scenario {
         user_homes: &[dynmds_namespace::InodeId],
         shared_roots: &[dynmds_namespace::InodeId],
         ns: &dynmds_namespace::Namespace,
-    ) -> GeneralWorkload {
+    ) -> Box<dyn Workload + Send> {
         let mut rng = SimRng::seed_from_u64(self.seed ^ 0x0317);
         let mix = OpMix {
             stat: 20.0 + rng.unit() * 20.0,
@@ -220,7 +238,14 @@ impl Scenario {
             mix,
             seed: self.seed ^ 0x17,
         };
-        GeneralWorkload::new(cfg, self.n_clients as usize, user_homes, shared_roots, ns)
+        let general =
+            GeneralWorkload::new(cfg, self.n_clients as usize, user_homes, shared_roots, ns);
+        if self.n_proxies > 0 {
+            let hot_dir = shared_roots.first().copied().unwrap_or_else(|| ns.root());
+            Box::new(LookupChurn::new(general, hot_dir, 0.3, self.seed ^ 0x9A1))
+        } else {
+            Box::new(general)
+        }
     }
 }
 
@@ -240,6 +265,10 @@ pub struct RunOutcome {
     pub uids: Vec<u32>,
     /// Oracle checkpoints executed.
     pub checkpoints: u64,
+    /// Ops answered by the proxy tier (0 when the scenario runs without
+    /// proxies) — lets tests prove the coherence oracle saw real proxy
+    /// traffic rather than vacuously passing.
+    pub proxy_absorbed: u64,
 }
 
 /// Shares a generated workload's op stream with the harness so the trace
@@ -310,6 +339,13 @@ fn drive(sc: &Scenario, snap: Snapshot, wl: Box<dyn Workload>, uids: Vec<u32>) -
     for node in &cl.nodes {
         digest = (digest ^ node.cache.len() as u64).wrapping_mul(0x100_0000_01b3);
     }
+    if sc.n_proxies > 0 {
+        for (i, w) in
+            [cl.proxy_absorbed, cl.proxy_forwarded, cl.proxy_flushes].into_iter().enumerate()
+        {
+            digest = (digest ^ w.rotate_left(17 + i as u32)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
     RunOutcome {
         digest,
         ops_completed: cl.ops_completed,
@@ -317,6 +353,7 @@ fn drive(sc: &Scenario, snap: Snapshot, wl: Box<dyn Workload>, uids: Vec<u32>) -
         trace: Trace::default(),
         uids,
         checkpoints: oracle.checkpoints,
+        proxy_absorbed: cl.proxy_absorbed,
     }
 }
 
@@ -327,7 +364,7 @@ pub fn run_scenario(sc: &Scenario, record: bool) -> RunOutcome {
     let wl = sc.workload(&snap);
     let uids: Vec<u32> = (0..sc.n_clients).map(|c| wl.uid_of(ClientId(c))).collect();
     if !record {
-        return drive(sc, snap, Box::new(wl), uids);
+        return drive(sc, snap, wl, uids);
     }
     let records = Rc::new(RefCell::new(Vec::new()));
     let boxed = Box::new(SharedRecorder { inner: wl, records: Rc::clone(&records) });
@@ -368,6 +405,7 @@ mod tests {
 
     #[test]
     fn scenario_bounds_hold() {
+        let mut proxied = 0;
         for seed in 0..50 {
             let sc = Scenario::from_seed(seed, StrategyKind::LazyHybrid, 1_000);
             assert!((2..=6).contains(&sc.n_mds));
@@ -375,7 +413,13 @@ mod tests {
             assert!(sc.cache_capacity >= 64);
             assert!((8_000_000..=60_000_000).contains(&sc.horizon_us));
             assert!(sc.retry_max >= 2);
+            assert!(sc.n_proxies <= 3);
+            assert!((8..56).contains(&sc.proxy_thr));
+            proxied += u64::from(sc.n_proxies > 0);
         }
+        // ~40% of seeds run with a proxy tier in front of the cluster.
+        assert!(proxied > 5, "proxy draw never fires ({proxied}/50)");
+        assert!(proxied < 45, "proxy draw always fires ({proxied}/50)");
     }
 
     #[test]
@@ -388,6 +432,22 @@ mod tests {
         let b = run_scenario(&sc, true);
         assert_eq!(a.digest, b.digest, "same seed, same digest");
         assert_eq!(a.trace, b.trace, "same seed, same trace");
+    }
+
+    #[test]
+    fn proxied_scenario_exercises_the_tier_and_stays_clean() {
+        let mut sc = Scenario::from_seed(7, StrategyKind::DynamicSubtree, 400);
+        sc.n_proxies = 2;
+        sc.proxy_thr = 8;
+        let out = run_scenario(&sc, true);
+        assert!(out.divergences.is_empty(), "divergences: {:?}", out.divergences);
+        assert!(out.proxy_absorbed > 0, "tier never engaged: the coherence oracle saw nothing");
+        // The recorded trace carries the churn lookups, so a replay walks
+        // the same proxy decisions and the oracle re-checks them.
+        let rep = replay_trace(&sc, &out.trace, &out.uids);
+        assert!(rep.divergences.is_empty());
+        assert_eq!(rep.digest, out.digest);
+        assert_eq!(rep.proxy_absorbed, out.proxy_absorbed);
     }
 
     #[test]

@@ -209,6 +209,17 @@ pub fn shrink(
     // Fault removal can unlock further op removal (and vice versa); one
     // more cheap pass at fine granularity usually converges.
     let trace = shrink_chunks(&mut search, trace);
+    // Proxies go LAST: a proxy-coherence divergence by definition needs
+    // the tier, so trying to remove it earlier would waste replays, while
+    // a divergence that survives with the tier off is a plain cluster bug
+    // and the repro should say so.
+    if search.sc.n_proxies > 0 && !search.exhausted() {
+        let saved = search.sc.n_proxies;
+        search.sc.n_proxies = 0;
+        if !search.fails(&trace) {
+            search.sc.n_proxies = saved;
+        }
+    }
 
     let stats = ShrinkStats {
         probes: search.probes,

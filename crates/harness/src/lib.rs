@@ -6,6 +6,7 @@
 //! | [`hitrate`] | Figure 4 (cache hit rate vs relative cache size) |
 //! | [`shiftrun`] | Figure 5 (throughput range under a workload shift) and Figure 6 (forwarded-request fraction) |
 //! | [`flashrun`] | Figure 7 (flash crowd with/without traffic control) |
+//! | [`hotspotrun`] | Hotspot absorption: proxy tier vs replication+redirect on adversarial storms |
 //! | [`ablation`] | §4.5 / §5.3.2 design-choice ablations (embedded-inode prefetch; load balancing) |
 //! | [`scirun`] | §5.2 scientific workload (LLNL-style synchronized bursts) across all strategies |
 //!
@@ -19,6 +20,7 @@ pub mod availability;
 pub mod elasticrun;
 pub mod flashrun;
 pub mod hitrate;
+pub mod hotspotrun;
 pub mod parallel;
 pub mod params;
 pub mod scalerun;

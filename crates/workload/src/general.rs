@@ -358,6 +358,7 @@ impl GeneralWorkload {
                 }
             }
             OpKind::Close => unreachable!("close never initiates"),
+            OpKind::Lookup => unreachable!("lookup is not in any mix"),
         }
     }
 }

@@ -24,6 +24,7 @@ pub mod diurnal;
 pub mod flash;
 pub mod general;
 pub mod hotset;
+pub mod hotspot;
 pub mod ops;
 pub mod scale;
 pub mod shift;
@@ -33,6 +34,7 @@ pub use diurnal::{BurstyWorkload, DiurnalWorkload};
 pub use flash::{BurstKind, FlashCrowd, ScientificWorkload, WriteCrowd};
 pub use general::{GeneralWorkload, WorkloadConfig};
 pub use hotset::HotSetWorkload;
+pub use hotspot::{CreateStorm, DeepPathHerd, LookupChurn, RenameStorm};
 pub use ops::{Op, OpKind, OpMix};
 pub use scale::ScaleWorkload;
 pub use shift::ShiftingWorkload;
@@ -63,5 +65,26 @@ pub trait Workload {
     /// stationary workload's timing bit-identical (`mean * 1.0 == mean`).
     fn think_scale(&self, _now: SimTime) -> f64 {
         1.0
+    }
+}
+
+/// Boxed workloads forward everything, so factory-style builders can
+/// return `Box<dyn Workload + Send>` and callers can still wrap the box
+/// in generic combinators like [`TraceRecorder`].
+impl Workload for Box<dyn Workload + Send> {
+    fn next_op(&mut self, ns: &Namespace, client: ClientId, now: SimTime) -> Op {
+        (**self).next_op(ns, client, now)
+    }
+
+    fn clients(&self) -> usize {
+        (**self).clients()
+    }
+
+    fn uid_of(&self, client: ClientId) -> u32 {
+        (**self).uid_of(client)
+    }
+
+    fn think_scale(&self, now: SimTime) -> f64 {
+        (**self).think_scale(now)
     }
 }

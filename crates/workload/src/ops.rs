@@ -10,6 +10,14 @@ use dynmds_namespace::InodeId;
 pub enum Op {
     /// Read an inode's attributes.
     Stat(InodeId),
+    /// Resolve `name` inside `dir` (may miss: the only op whose common
+    /// case is a *negative* answer, which the proxy tier caches).
+    Lookup {
+        /// Directory being searched.
+        dir: InodeId,
+        /// Entry name being resolved.
+        name: String,
+    },
     /// Open a file (permission check + inode fetch).
     Open(InodeId),
     /// Close a previously opened file (size/mtime update).
@@ -74,6 +82,7 @@ impl Op {
     pub fn kind(&self) -> OpKind {
         match self {
             Op::Stat(_) => OpKind::Stat,
+            Op::Lookup { .. } => OpKind::Lookup,
             Op::Open(_) => OpKind::Open,
             Op::Close(_) => OpKind::Close,
             Op::Readdir(_) => OpKind::Readdir,
@@ -110,7 +119,8 @@ impl Op {
             Op::Create { dir, .. }
             | Op::Mkdir { dir, .. }
             | Op::Unlink { dir, .. }
-            | Op::Rename { dir, .. } => *dir,
+            | Op::Rename { dir, .. }
+            | Op::Lookup { dir, .. } => *dir,
             Op::Chmod { target, .. } => *target,
             Op::Link { target, .. } => *target,
         }
@@ -122,6 +132,7 @@ impl Op {
 #[allow(missing_docs)]
 pub enum OpKind {
     Stat,
+    Lookup,
     Open,
     Close,
     Readdir,
@@ -261,6 +272,7 @@ mod tests {
     #[test]
     fn update_classification() {
         assert!(!Op::Stat(InodeId(1)).is_update());
+        assert!(!Op::Lookup { dir: InodeId(1), name: "x".into() }.is_update());
         assert!(!Op::Open(InodeId(1)).is_update());
         assert!(!Op::Readdir(InodeId(1)).is_update());
         assert!(Op::Close(InodeId(1)).is_update());
@@ -272,6 +284,7 @@ mod tests {
     fn target_extraction() {
         assert_eq!(Op::Open(InodeId(9)).target(), InodeId(9));
         assert_eq!(Op::Create { dir: InodeId(3), name: "x".into() }.target(), InodeId(3));
+        assert_eq!(Op::Lookup { dir: InodeId(4), name: "x".into() }.target(), InodeId(4));
         assert_eq!(Op::Chmod { target: InodeId(7), mode: 0 }.target(), InodeId(7));
     }
 

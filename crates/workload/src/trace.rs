@@ -32,6 +32,7 @@ pub struct TraceRecord {
 #[allow(missing_docs)]
 pub enum TraceOp {
     Stat(u64),
+    Lookup { dir: u64, name: String },
     Open(u64),
     Close(u64),
     Readdir(u64),
@@ -48,6 +49,7 @@ impl From<&Op> for TraceOp {
     fn from(op: &Op) -> Self {
         match op {
             Op::Stat(i) => TraceOp::Stat(i.0),
+            Op::Lookup { dir, name } => TraceOp::Lookup { dir: dir.0, name: name.clone() },
             Op::Open(i) => TraceOp::Open(i.0),
             Op::Close(i) => TraceOp::Close(i.0),
             Op::Readdir(i) => TraceOp::Readdir(i.0),
@@ -70,6 +72,7 @@ impl From<&TraceOp> for Op {
     fn from(t: &TraceOp) -> Self {
         match t {
             TraceOp::Stat(i) => Op::Stat(InodeId(*i)),
+            TraceOp::Lookup { dir, name } => Op::Lookup { dir: InodeId(*dir), name: name.clone() },
             TraceOp::Open(i) => Op::Open(InodeId(*i)),
             TraceOp::Close(i) => Op::Close(InodeId(*i)),
             TraceOp::Readdir(i) => Op::Readdir(InodeId(*i)),
@@ -277,6 +280,7 @@ mod tests {
     fn trace_round_trips_through_every_op_kind() {
         let ops = vec![
             Op::Stat(InodeId(1)),
+            Op::Lookup { dir: InodeId(3), name: "missing".into() },
             Op::Open(InodeId(2)),
             Op::Close(InodeId(2)),
             Op::Readdir(InodeId(3)),

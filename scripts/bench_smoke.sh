@@ -28,6 +28,15 @@ if [ -z "$sharded" ] || [ -z "$rss" ]; then
 fi
 echo "bench smoke: sharded engine at 8 shards: $sharded ops/s, peak RSS $rss bytes"
 
+# The hotspot probe (proxy tier vs redirect, outside the timed figure
+# stages) must report its throughput too.
+hotspot=$(extract_field "$OUT/BENCH_sim.json" hotspot_ops_per_sec)
+if [ -z "$hotspot" ]; then
+    echo "bench smoke: FAIL — BENCH_sim.json is missing hotspot_ops_per_sec"
+    exit 1
+fi
+echo "bench smoke: hotspot probe (proxy + redirect modes): $hotspot ops/s"
+
 # No bc in minimal CI images; awk does the float compare.
 awk -v f="$fresh" -v b="$base" 'BEGIN {
     limit = b * 1.25

@@ -15,6 +15,17 @@ echo "==> DST torture: 200 seeds x all strategies"
 cargo build --release --offline --locked
 target/release/experiments torture --seeds 200 --ops 2000
 
+echo "==> DST torture: 100 seeds x all strategies, proxy tier forced on"
+target/release/experiments torture --seeds 100 --ops 2000 --proxy 2
+
+echo "==> hotspot figure determinism (shards 1 vs 4)"
+for k in 1 4; do
+    mkdir -p "target/hotspot-full/k$k"
+    target/release/experiments --quick --shards "$k" \
+        --csv "target/hotspot-full/k$k" hotspot > /dev/null 2>&1
+done
+cmp target/hotspot-full/k1/hotspot.csv target/hotspot-full/k4/hotspot.csv
+
 echo "==> scale smoke (streaming namespace, memory + determinism gates)"
 ./scripts/scale_smoke.sh
 

@@ -96,11 +96,12 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: experiments [--quick] [--csv DIR] [--obs|--obs-trace] [--faults SPEC] [--shards K] \
-         <fig2|fig3|fig4|fig5|fig6|fig7|sci|ablate-prefetch|ablate-balance|ablate-dirhash|ablate-warming|ablate-leases|ablate-shared-writes|ablate-probation|availability|elasticity|all|bench|obs>\n\
+         <fig2|fig3|fig4|fig5|fig6|fig7|sci|ablate-prefetch|ablate-balance|ablate-dirhash|ablate-warming|ablate-leases|ablate-shared-writes|ablate-probation|availability|elasticity|hotspot|all|bench|obs>\n\
          \n\
          or:    experiments torture [--seeds N] [--seed-base B] [--ops K] [--strategy NAME|all]\n\
          \u{20}                     [--out DIR] [--shrink-budget P] [--no-repeat-check] [--threads T]\n\
          \u{20}                     [--shards K]  (cross-check sharded engine reports, K vs 1)\n\
+         \u{20}                     [--proxy P]   (force P hotspot proxies on every scenario)\n\
          (seeded fuzz scenarios against the DST oracle; repros land in dst/repros/)\n\
          \n\
          or:    experiments scale [--smoke|--full] [--clients N] [--users N] [--target-inodes N]\n\
@@ -454,6 +455,18 @@ fn run_bench(args: &Args) {
     let scale_ops_per_sec = scale_probe.wall_ops_per_sec();
     let namespace_bytes_per_inode = scale_probe.bytes_per_inode();
 
+    // Hotspot-absorption probe: the proxy-vs-redirect storm suite on the
+    // sharded engine. Like the scale probe it stays out of the timed
+    // figure stages (the seed baseline predates it); the headline is
+    // total simulated storm ops per wall-second.
+    eprintln!("bench: hotspot-absorption probe (proxy vs redirect)...");
+    let hotspot_ops_per_sec = {
+        let t = Instant::now();
+        let pts = dynmds_harness::hotspotrun::run_hotspot(scale, 4, None);
+        let ops: u64 = pts.iter().map(|p| p.report.ops).sum();
+        ops as f64 / t.elapsed().as_secs_f64().max(1e-9)
+    };
+
     // With --obs/--obs-trace, time the same run instrumented and report
     // the observability overhead (not part of BENCH_sim.json: the
     // committed baseline tracks the uninstrumented hot path).
@@ -502,6 +515,7 @@ fn run_bench(args: &Args) {
     json.push_str(&format!("  \"scheduler_ops_per_sec\": {sched_ops_per_sec:.1},\n"));
     json.push_str(&format!("  \"sharded_ops_per_sec\": {sharded_ops_per_sec:.1},\n"));
     json.push_str(&format!("  \"scale_ops_per_sec\": {scale_ops_per_sec:.1},\n"));
+    json.push_str(&format!("  \"hotspot_ops_per_sec\": {hotspot_ops_per_sec:.1},\n"));
     json.push_str(&format!("  \"namespace_bytes_per_inode\": {namespace_bytes_per_inode:.1},\n"));
     json.push_str("  \"sharded_scaling\": [\n");
     for (i, (shards, rate)) in sharded_curve.iter().enumerate() {
@@ -773,6 +787,14 @@ fn main() {
                 "elasticity",
                 dynmds_harness::elasticrun::elasticity_table(&pts),
             )])
+        }));
+    }
+
+    if want("hotspot") {
+        stages.push(Box::new(|| {
+            eprintln!("running hotspot-absorption experiment (proxy vs redirect)...");
+            let pts = dynmds_harness::hotspotrun::run_hotspot(scale, args.shards, None);
+            StageOut::tables(vec![("hotspot", dynmds_harness::hotspotrun::hotspot_table(&pts))])
         }));
     }
 

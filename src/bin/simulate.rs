@@ -19,6 +19,7 @@
 //!   --night-mult X      night think-time multiplier            (150)
 //!   --leases            enable client metadata leases
 //!   --shared-writes     enable GPFS-style shared writes
+//!   --proxy N           put N hotspot proxies in front of the cluster (0)
 //!   --no-balancing      disable the load balancer
 //!   --no-traffic-control  disable flash-crowd replication
 //!   --dir-hash N        hash directories beyond N entries
@@ -66,6 +67,7 @@ struct Args {
     night_mult: f64,
     leases: bool,
     shared_writes: bool,
+    proxy: u16,
     no_balancing: bool,
     no_traffic_control: bool,
     dir_hash: usize,
@@ -110,6 +112,7 @@ fn parse_args() -> Args {
         night_mult: 150.0,
         leases: false,
         shared_writes: false,
+        proxy: 0,
         no_balancing: false,
         no_traffic_control: false,
         dir_hash: 0,
@@ -171,6 +174,9 @@ fn parse_args() -> Args {
             }
             "--leases" => a.leases = true,
             "--shared-writes" => a.shared_writes = true,
+            "--proxy" => {
+                a.proxy = next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --proxy"))
+            }
             "--no-balancing" => a.no_balancing = true,
             "--no-traffic-control" => a.no_traffic_control = true,
             "--dir-hash" => {
@@ -209,6 +215,7 @@ fn main() {
     cfg.seed = a.seed;
     cfg.client_leases = a.leases;
     cfg.shared_writes = a.shared_writes;
+    cfg.proxy.count = a.proxy;
     cfg.dir_hash_threshold = a.dir_hash;
     if a.no_balancing {
         cfg.balancing = false;
@@ -290,6 +297,8 @@ fn main() {
     let timeouts = sim.cluster().failover_timeouts;
     let (retries, gave_up) = (sim.cluster().retries_total, sim.cluster().gave_up);
     let (net_lost, net_dup) = (sim.cluster().net_lost, sim.cluster().net_dup);
+    let (proxy_absorbed, proxy_forwarded) =
+        (sim.cluster().proxy_absorbed, sim.cluster().proxy_forwarded);
     let report = sim.finish();
 
     println!("== results over {:.0} measured seconds ==", report.span_secs());
@@ -314,6 +323,9 @@ fn main() {
     }
     if absorbed > 0 {
         println!("shared writes absorbed: {absorbed}");
+    }
+    if proxy_absorbed > 0 || proxy_forwarded > 0 {
+        println!("proxy absorbed     : {proxy_absorbed} ({proxy_forwarded} forwarded hot)");
     }
     if timeouts > 0 {
         println!("failover timeouts  : {timeouts}");

@@ -15,7 +15,7 @@
 //! insertion policy, shared writes and journal replay.
 
 use dynmds_event::SimDuration;
-use dynmds_harness::{ablation, flashrun, ExperimentScale};
+use dynmds_harness::{ablation, flashrun, hotspotrun, ExperimentScale};
 use dynmds_metrics::Table;
 
 fn golden(name: &str) -> String {
@@ -134,6 +134,16 @@ fn ablate_shared_writes_matches_seed_output() {
             &pts,
         ),
     );
+}
+
+#[test]
+fn hotspot_matches_committed_output() {
+    // Golden produced by `experiments --quick --shards 2 hotspot`; the
+    // shard/thread choice here is immaterial (the report is invariant —
+    // `hotspot_csv_is_invariant_across_shard_counts` pins that), so this
+    // test pins the *results* against the committed CSV.
+    let pts = hotspotrun::run_hotspot(ExperimentScale::Quick, 2, Some(2));
+    assert_matches_golden("hotspot", &hotspotrun::hotspot_table(&pts));
 }
 
 #[test]

@@ -90,6 +90,7 @@ fn give_up_fires_after_exactly_the_configured_budget() {
                 issued_at: SimTime::from_millis(2),
                 hops: 0,
                 retries: 0,
+                via_proxy: false,
             };
             c.handle(SimTime::from_millis(2), SimEvent::Arrive { mds: dead, req }, &mut q);
         }
