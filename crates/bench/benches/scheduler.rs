@@ -126,11 +126,79 @@ fn assert_sparse_fast_path(deltas: &[u64]) {
     );
 }
 
+/// Inter-event gap of the skip race: two orders of magnitude past the
+/// 100 µs conservative window, the regime where the sharded engine's
+/// idle-window skip does all the work and `next_event_time()` is the
+/// per-barrier probe deciding how far to jump.
+const RACE_GAP_US: u64 = 10_000;
+
+/// Correctness pin for the skip probe under lazy cancellation: with a
+/// sparse 10 ms schedule and the head event tombstoned, `next_event_time`
+/// must report the first *live* event — never the cancelled head's time
+/// (which would make the engine under-skip into an empty window).
+fn assert_skip_probe_sees_past_tombstones() {
+    let mut q: EventQueue<u64> = EventQueue::with_delta_hint(SimDuration::from_micros(250));
+    let mut rng = SimRng::seed_from_u64(0x51CF);
+    let mut at = SimTime::ZERO;
+    let mut live = Vec::new();
+    for i in 0..64u64 {
+        at += SimDuration::from_micros(RACE_GAP_US + rng.below(RACE_GAP_US));
+        let id = q.schedule(at, i);
+        if rng.below(3) == 0 {
+            assert!(q.cancel(id));
+        } else {
+            live.push(at);
+        }
+    }
+    for want in live {
+        assert_eq!(q.next_event_time(), Some(want), "skip probe disagrees with pop order");
+        let ev = q.pop().expect("live event");
+        assert_eq!(ev.at, want);
+    }
+    assert_eq!(q.next_event_time(), None, "drained queue must report no next event");
+}
+
 fn bench_scheduler(c: &mut Criterion) {
     let deltas = delta_table();
     let sparse = sparse_delta_table();
     assert_sparse_fast_path(&sparse);
+    assert_skip_probe_sees_past_tombstones();
     let mut g = c.benchmark_group("scheduler");
+    // The skip race: a handful of events 10 ms apart, each step probing
+    // next_event_time (the barrier's skip decision) before the pop —
+    // the steady-state shape of a sparse diurnal night.
+    g.bench_function("wheel_skip_race_10ms_gap", |b| {
+        let mut q: EventQueue<u64> = EventQueue::with_delta_hint(SimDuration::from_micros(250));
+        for i in 0..8u64 {
+            q.schedule(SimTime::from_micros(1 + i * RACE_GAP_US), i);
+        }
+        b.iter(|| {
+            let t = q.next_event_time().expect("steady population");
+            let ev = q.pop_due(t).expect("probe reported a due event");
+            q.schedule(t + SimDuration::from_micros(8 * RACE_GAP_US), ev);
+            t
+        })
+    });
+    // Same race with a tombstone planted at the head each step: the
+    // probe must take the slow scan past the cancelled entry.
+    g.bench_function("wheel_skip_race_tombstone_head", |b| {
+        let mut q: EventQueue<u64> = EventQueue::with_delta_hint(SimDuration::from_micros(250));
+        for i in 0..8u64 {
+            q.schedule(SimTime::from_micros(1 + i * RACE_GAP_US), i);
+        }
+        b.iter(|| {
+            let head = q.next_event_time().expect("steady population");
+            let id = q.schedule(SimTime::from_micros(head.as_micros() - 1), u64::MAX);
+            assert!(q.cancel(id));
+            let t = q.next_event_time().expect("steady population");
+            // pop() (not pop_due) so the physically-first tombstone is
+            // reaped on the way to the live head the probe reported.
+            let ev = q.pop().expect("probe reported a live event");
+            assert_eq!(ev.at, t, "probe must agree with the popped head");
+            q.schedule(t + SimDuration::from_micros(8 * RACE_GAP_US), ev.event);
+            t
+        })
+    });
     g.bench_function("wheel_sparse_48_pending", |b| {
         let mut q: EventQueue<u64> = EventQueue::with_delta_hint(SimDuration::from_millis(1));
         prefill(&mut q, SPARSE_PENDING, &sparse);

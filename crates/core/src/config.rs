@@ -165,6 +165,14 @@ pub struct SimConfig {
     /// Lease lifetime (staleness bound).
     pub lease_ttl: SimDuration,
 
+    /// Debug switch for the sharded engine: keep executing every
+    /// conservative window densely instead of skipping idle spans.
+    /// Skipping stays on the window grid, so runs are byte-identical
+    /// either way — this exists so tests and CI can prove that, and so
+    /// a suspected skip bug can be ruled out with one flag. Ignored by
+    /// the legacy serial engine (which is event-driven, never idle).
+    pub force_dense: bool,
+
     /// Metrics sampling interval (time-series bin width).
     pub sample_every: SimDuration,
     /// RNG seed for client think times and routing tie-breaks.
@@ -215,6 +223,7 @@ impl SimConfig {
             shared_writes: false,
             client_leases: false,
             lease_ttl: SimDuration::from_secs(2),
+            force_dense: false,
             sample_every: SimDuration::from_secs(1),
             seed: 7,
             retry: crate::fault::RetryPolicy::default(),

@@ -390,6 +390,16 @@ struct Shard {
     workload: Box<dyn Workload + Send>,
     /// Outgoing messages per destination shard, drained at barriers.
     outbox: Vec<Vec<OutMsg>>,
+    /// Cross-shard delivery latency, µs (== the window width): messages
+    /// land at `send + hop_us`, always at or past the next barrier.
+    hop_us: u64,
+    /// Single-shard run: [`Shard::send`] schedules straight into the own
+    /// queue at the delivery time, bypassing the outbox entirely.
+    direct: bool,
+    /// Whether this shard pushed any outbox message since the last
+    /// barrier — lets the barrier skip the k×k exchange scan when no
+    /// shard sent anything (the common case in sparse phases).
+    sent: bool,
     /// Same-timestamp batch scratch (allocation reused across windows).
     batch: Vec<Ev>,
     stats: ShardStats,
@@ -452,14 +462,22 @@ impl Shard {
             if t >= end {
                 break;
             }
-            while let Some(ev) = self.queue.pop_due(tt) {
-                batch.push(ev);
-            }
-            if batch.len() > 1 {
-                batch.sort_by_key(canonical_key);
-            }
-            for ev in batch.drain(..) {
-                self.handle(world, t, ev);
+            let first = self.queue.pop_due(tt).expect("peeked event is due");
+            match self.queue.pop_due(tt) {
+                // The common case by far is one event per timestamp;
+                // handle it without touching the batch buffer at all.
+                None => self.handle(world, t, first),
+                Some(second) => {
+                    batch.push(first);
+                    batch.push(second);
+                    while let Some(ev) = self.queue.pop_due(tt) {
+                        batch.push(ev);
+                    }
+                    batch.sort_by_key(canonical_key);
+                    for ev in batch.drain(..) {
+                        self.handle(world, t, ev);
+                    }
+                }
             }
         }
         self.batch = batch;
@@ -490,7 +508,18 @@ impl Shard {
     }
 
     fn send(&mut self, dst_shard: usize, send: u64, ev: Ev) {
-        self.outbox[dst_shard].push(OutMsg { send, ev });
+        if self.direct {
+            // One shard: the "cross-shard" message can go straight into
+            // the own queue at its delivery time. The delivery lands at
+            // or past the window end (hop == window width), so it never
+            // fires intra-window, and pops order strictly by (time, seq)
+            // with same-time batches canonically sorted — byte-identical
+            // to the merge-at-barrier path.
+            self.queue.schedule(SimTime::from_micros(send + self.hop_us), ev);
+        } else {
+            self.outbox[dst_shard].push(OutMsg { send, ev });
+            self.sent = true;
+        }
     }
 
     fn think_delay(rng: &mut SimRng, mean_us: f64) -> u64 {
@@ -998,6 +1027,14 @@ pub struct ShardedSimulation {
     next_step: usize,
     next_heartbeat: u64,
     next_sample: u64,
+    /// Next-due-step calendar: the earliest time any barrier-global step
+    /// (fault, heartbeat, sample) is due. Barriers with `now` before
+    /// this fast-exit [`Self::apply_steps`] without touching the three
+    /// schedules above, and the idle-window skip uses it as the global
+    /// step bound.
+    next_due: u64,
+    /// Barrier merge scratch, pooled across exchanges.
+    merge_scratch: Vec<(u64, usize, Ev)>,
     measure_start: u64,
     migrations: u64,
     elastic: ElasticCtl,
@@ -1100,6 +1137,9 @@ impl ShardedSimulation {
                 queue,
                 partition: Partition::initial(cfg.strategy, &snapshot.ns, cfg.n_mds),
                 cfg: cfg.clone(),
+                hop_us: window_us,
+                direct: k == 1,
+                sent: false,
                 node_lo,
                 nodes,
                 client_lo,
@@ -1159,6 +1199,8 @@ impl ShardedSimulation {
             next_step: 0,
             next_heartbeat: heartbeat,
             next_sample: sample,
+            next_due: 0,
+            merge_scratch: Vec::new(),
             measure_start: 0,
             migrations: 0,
             elastic: ElasticCtl::new(n_mds),
@@ -1168,6 +1210,7 @@ impl ShardedSimulation {
         if sim.cfg.elastic.enabled {
             sim.park_initial_standby();
         }
+        sim.recompute_next_due();
         sim
     }
 
@@ -1203,10 +1246,20 @@ impl ShardedSimulation {
         self.shards.len()
     }
 
-    /// Advances all shards to `until_us`, window by window.
+    /// Advances all shards to `until_us`, window by window. Idle window
+    /// spans — no shard event, no calendar step due — are skipped in one
+    /// jump (unless `force_dense`), staying on the same window grid so
+    /// the state trajectory is byte-identical with skipping on or off.
     fn run_windows(&mut self, until_us: u64) {
         self.apply_steps(self.now_us);
+        let skip = !self.cfg.force_dense;
         while self.now_us < until_us {
+            if skip {
+                self.skip_idle_windows(until_us);
+                if self.now_us >= until_us {
+                    break;
+                }
+            }
             let end = (self.now_us + self.window_us).min(until_us);
             let world = &self.world;
             let threads = self.threads;
@@ -1217,18 +1270,62 @@ impl ShardedSimulation {
         }
     }
 
+    /// From a barrier, jumps `now_us` forward over windows that would
+    /// execute nothing: let `t_min` be the minimum over every shard's
+    /// next live event time and the next-due calendar step. Every window
+    /// strictly before the one containing `t_min` pops no event and its
+    /// barrier applies no step (outboxes are empty at barriers, so there
+    /// are no in-flight deliveries to account for) — running those
+    /// windows densely would be a pure no-op, so the jump lands on the
+    /// grid barrier `⌊(t_min − now) / w⌋·w` with identical state. When
+    /// nothing is due before `until_us`, time jumps to the final barrier
+    /// and its steps (due exactly at `until_us`, as in a dense run)
+    /// apply. `t_min` is a function of the event-time multiset and the
+    /// calendar, both shard-count-invariant at barriers, so every K
+    /// takes the same jumps.
+    fn skip_idle_windows(&mut self, until_us: u64) {
+        let mut t_min = self.next_due;
+        for s in &self.shards {
+            if let Some(t) = s.queue.next_event_time() {
+                t_min = t_min.min(t.as_micros());
+            }
+        }
+        if t_min < self.now_us + self.window_us {
+            return; // something due in the current window: no skip
+        }
+        if t_min >= until_us {
+            self.now_us = until_us;
+            self.apply_steps(until_us);
+            return;
+        }
+        let barrier = self.now_us + (t_min - self.now_us) / self.window_us * self.window_us;
+        self.now_us = barrier;
+        self.apply_steps(barrier);
+    }
+
     /// Barrier message exchange: each destination merges its inbound
     /// messages in `(send_time, src_shard, outbox order)` and schedules
-    /// them at `send + net_hop`.
+    /// them at `send + net_hop`. Merge scratch and outbox buffers are
+    /// pooled across barriers, and barriers where no shard sent anything
+    /// skip the k×k scan entirely.
     fn exchange(&mut self) {
         let k = self.shards.len();
+        if k == 1 {
+            return; // Shard::send went direct; outboxes stay empty
+        }
+        if !self.shards.iter().any(|s| s.sent) {
+            return;
+        }
+        for s in &mut self.shards {
+            s.sent = false;
+        }
         let hop = self.window_us;
-        let mut merged: Vec<(u64, usize, Ev)> = Vec::new();
+        let mut merged = std::mem::take(&mut self.merge_scratch);
         for dst in 0..k {
             merged.clear();
             for src in 0..k {
-                let inbox = std::mem::take(&mut self.shards[src].outbox[dst]);
-                merged.extend(inbox.into_iter().map(|m| (m.send, src, m.ev)));
+                // drain (not take) keeps the outbox allocation alive.
+                merged.extend(self.shards[src].outbox[dst].drain(..).map(|m| (m.send, src, m.ev)));
             }
             if merged.is_empty() {
                 continue;
@@ -1239,11 +1336,23 @@ impl ShardedSimulation {
                 q.schedule(SimTime::from_micros(send + hop), ev);
             }
         }
+        self.merge_scratch = merged;
+    }
+
+    /// Recomputes the next-due-step calendar after anything that moves
+    /// one of the three global schedules.
+    fn recompute_next_due(&mut self) {
+        let step = self.steps.get(self.next_step).map_or(u64::MAX, |s| s.0);
+        self.next_due = step.min(self.next_heartbeat).min(self.next_sample);
     }
 
     /// Applies every pending global step with timestamp ≤ `now`, then
-    /// any heartbeat / sample ticks that have come due.
+    /// any heartbeat / sample ticks that have come due. O(1) via the
+    /// next-due calendar when nothing is due (the per-window case).
     fn apply_steps(&mut self, now: u64) {
+        if now < self.next_due {
+            return;
+        }
         while self.next_step < self.steps.len() && self.steps[self.next_step].0 <= now {
             match &self.steps[self.next_step] {
                 (_, Step::Crash(m)) => {
@@ -1288,6 +1397,7 @@ impl ShardedSimulation {
             self.sample(self.next_sample);
             self.next_sample += self.cfg.sample_every.as_micros().max(self.window_us);
         }
+        self.recompute_next_due();
     }
 
     /// Node failure: mark dead, drop its cache, and hand its delegations

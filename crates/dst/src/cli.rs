@@ -6,6 +6,7 @@
 //!                     [--strategy NAME|all] [--out DIR]
 //!                     [--shrink-budget P] [--no-repeat-check]
 //!                     [--threads T] [--shards K] [--proxy P]
+//!                     [--force-dense]
 //! ```
 //!
 //! Output is derived entirely from simulation results (no wall-clock, no
@@ -43,6 +44,9 @@ struct TortureArgs {
     /// this many hotspot proxies instead of the seeded draw (0 forces
     /// the tier off everywhere).
     proxy: Option<u16>,
+    /// Override the seeded skip-on/off draw: run every scenario's
+    /// sharded cross-check densely (execute every conservative window).
+    force_dense: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<TortureArgs, String> {
@@ -57,6 +61,7 @@ fn parse_args(args: &[String]) -> Result<TortureArgs, String> {
         threads: None,
         shards: 0,
         proxy: None,
+        force_dense: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -95,6 +100,7 @@ fn parse_args(args: &[String]) -> Result<TortureArgs, String> {
             "--proxy" => {
                 out.proxy = Some(val("--proxy")?.parse().map_err(|e| format!("--proxy: {e}"))?)
             }
+            "--force-dense" => out.force_dense = true,
             "--strategy" => {
                 let v = val("--strategy")?;
                 if v != "all" {
@@ -207,6 +213,9 @@ pub fn run_torture(args: &[String]) -> i32 {
                 let mut sc = Scenario::from_seed(seed, s, args.ops);
                 if let Some(p) = args.proxy {
                     sc.n_proxies = p;
+                }
+                if args.force_dense {
+                    sc.force_dense = true;
                 }
                 sc
             })

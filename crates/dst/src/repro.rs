@@ -58,7 +58,7 @@ impl Repro {
         out.push_str(&format!(
             "scenario seed={} strategy={} n_mds={} n_clients={} target_items={} cache={} \
              dir_hash={} shared_writes={} leases={} think_us={} retry_base_us={} retry_max={} \
-             heartbeat_us={} ops_target={} horizon_us={} proxies={} proxy_thr={}\n",
+             heartbeat_us={} ops_target={} horizon_us={} proxies={} proxy_thr={} force_dense={}\n",
             sc.seed,
             sc.strategy.label(),
             sc.n_mds,
@@ -76,6 +76,7 @@ impl Repro {
             sc.horizon_us,
             sc.n_proxies,
             sc.proxy_thr,
+            u8::from(sc.force_dense),
         ));
         assert!(sc.faults.churn.is_none(), "repros carry explicit events only (shrink first)");
         for ev in &sc.faults.events {
@@ -308,6 +309,9 @@ fn parse_scenario(kv: &std::collections::HashMap<String, String>) -> Result<Scen
         horizon_us: num(kv, "horizon_us")?,
         n_proxies: num_or(kv, "proxies", 0)?,
         proxy_thr: num_or(kv, "proxy_thr", 24)?,
+        // Pre-skip repro files have no `force_dense=` key; they replay
+        // with skipping on, which is behavior-identical by construction.
+        force_dense: num_or::<u8>(kv, "force_dense", 0)? != 0,
         faults: FaultSchedule::default(), // filled by the caller
     })
 }
@@ -405,6 +409,9 @@ mod tests {
 
     fn sample() -> Repro {
         let mut sc = Scenario::from_seed(9, StrategyKind::DynamicSubtree, 400);
+        // A non-default value so the round-trip below proves the key
+        // actually travels through the text format.
+        sc.force_dense = true;
         sc.faults = FaultSchedule {
             events: vec![
                 FaultEvent::Crash {
@@ -476,6 +483,7 @@ mod tests {
         assert_eq!(back.scenario.horizon_us, r.scenario.horizon_us);
         assert_eq!(back.scenario.n_proxies, r.scenario.n_proxies);
         assert_eq!(back.scenario.proxy_thr, r.scenario.proxy_thr);
+        assert_eq!(back.scenario.force_dense, r.scenario.force_dense);
         // Serializing the parse reproduces the text byte-for-byte.
         assert_eq!(back.to_text(), text);
     }
@@ -504,14 +512,19 @@ mod tests {
     #[test]
     fn pre_proxy_repros_parse_with_the_tier_off() {
         let r = sample();
-        // Strip the proxy keys the way an old repro file would lack them.
+        // Strip the proxy and skip keys the way an old repro file would
+        // lack them.
         let text = r
             .to_text()
             .lines()
             .map(|l| {
                 if l.starts_with("scenario ") {
                     l.split_whitespace()
-                        .filter(|w| !w.starts_with("proxies=") && !w.starts_with("proxy_thr="))
+                        .filter(|w| {
+                            !w.starts_with("proxies=")
+                                && !w.starts_with("proxy_thr=")
+                                && !w.starts_with("force_dense=")
+                        })
                         .collect::<Vec<_>>()
                         .join(" ")
                 } else {
@@ -522,5 +535,6 @@ mod tests {
             .join("\n");
         let back = Repro::parse(&text).expect("old format parses");
         assert_eq!(back.scenario.n_proxies, 0);
+        assert!(!back.scenario.force_dense, "pre-skip repros replay with skipping on");
     }
 }

@@ -71,6 +71,11 @@ pub struct Scenario {
     /// Proxy hot-detector threshold (stored as an integer so the repro
     /// text round-trips exactly; the config maps it to `f64`).
     pub proxy_thr: u64,
+    /// Run the sharded engine densely (execute every conservative window)
+    /// instead of skipping idle spans. Skipping is invisible by
+    /// construction, so the fuzzer draws this to keep both window paths
+    /// under continuous test; the legacy oracle engine ignores it.
+    pub force_dense: bool,
     /// Fault schedule (generated: scripted windows + churn; shrunk: an
     /// explicit event list with `churn: None`).
     pub faults: FaultSchedule,
@@ -133,6 +138,9 @@ impl Scenario {
         // scenario plus an independent proxy layer.
         let n_proxies = if rng.below(100) < 40 { 1 + rng.below(3) as u16 } else { 0 };
         let proxy_thr = 8 + rng.below(48);
+        // Drawn after the proxy fields for the same back-compat reason:
+        // old seeds keep their exact pre-skip scenario plus this one bit.
+        let force_dense = rng.below(100) < 25;
 
         Scenario {
             seed,
@@ -152,6 +160,7 @@ impl Scenario {
             horizon_us,
             n_proxies,
             proxy_thr,
+            force_dense,
             faults: FaultSchedule { events, churn },
         }
     }
@@ -182,6 +191,7 @@ impl Scenario {
         cfg.faults = self.faults.clone();
         cfg.proxy.count = self.n_proxies;
         cfg.proxy.hot_threshold = self.proxy_thr as f64;
+        cfg.force_dense = self.force_dense;
         cfg
     }
 
@@ -406,6 +416,7 @@ mod tests {
     #[test]
     fn scenario_bounds_hold() {
         let mut proxied = 0;
+        let mut dense = 0;
         for seed in 0..50 {
             let sc = Scenario::from_seed(seed, StrategyKind::LazyHybrid, 1_000);
             assert!((2..=6).contains(&sc.n_mds));
@@ -416,10 +427,14 @@ mod tests {
             assert!(sc.n_proxies <= 3);
             assert!((8..56).contains(&sc.proxy_thr));
             proxied += u64::from(sc.n_proxies > 0);
+            dense += u64::from(sc.force_dense);
         }
         // ~40% of seeds run with a proxy tier in front of the cluster.
         assert!(proxied > 5, "proxy draw never fires ({proxied}/50)");
         assert!(proxied < 45, "proxy draw always fires ({proxied}/50)");
+        // ~25% of seeds run the sharded engine densely (skip disabled).
+        assert!(dense > 3, "force-dense draw never fires ({dense}/50)");
+        assert!(dense < 30, "force-dense draw always fires ({dense}/50)");
     }
 
     #[test]

@@ -48,6 +48,8 @@
 //! Cancellation ([`EventQueue::cancel`]) is a lazy tombstone: the entry
 //! stays in its slot and is reaped when popped. [`EventQueue::peek_time`]
 //! may therefore report the time of a cancelled-but-unreaped entry;
+//! callers that must not observe tombstones (the sharded engine's
+//! idle-window skip) use [`EventQueue::next_event_time`] instead.
 //! [`HeapEventQueue`] mirrors exactly the same lazy semantics so the two
 //! implementations stay observably identical.
 
@@ -289,6 +291,43 @@ impl<E> EventQueue<E> {
     /// report a cancelled-but-unreaped entry's time (see module docs).
     pub fn peek_time(&self) -> Option<SimTime> {
         self.next_at.map(SimTime::from_micros)
+    }
+
+    /// The dispatch time of the earliest *live* pending event — unlike
+    /// [`peek_time`](Self::peek_time) this never reports a
+    /// cancelled-but-unreaped entry's time, so a caller skipping idle
+    /// spans can't under-skip into a window holding only tombstones.
+    ///
+    /// Read-only: the wheel position (and so the scheduling floor) is
+    /// untouched, making this safe to call between dispatches even if
+    /// the caller still intends to schedule near the floor. O(1) with
+    /// no tombstones outstanding (the simulation hot path); otherwise
+    /// it scans the pending entries.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        if self.cancelled.is_empty() {
+            return self.next_at.map(SimTime::from_micros);
+        }
+        let mut best: Option<u64> = None;
+        let mut consider = |e: &Entry<E>| {
+            if !self.cancelled.contains(&e.seq) && best.is_none_or(|b| e.at < b) {
+                best = Some(e.at);
+            }
+        };
+        for (w, &word) in self.occ0.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let s = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.l0[s].iter().for_each(&mut consider);
+            }
+        }
+        for bucket in self.l1.iter().chain(self.l2.iter()) {
+            bucket.iter().for_each(&mut consider);
+        }
+        for far in &self.overflow {
+            consider(&far.0);
+        }
+        best.map(SimTime::from_micros)
     }
 
     /// Number of pending (scheduled, not fired, not cancelled) events.
@@ -648,6 +687,20 @@ impl<E> HeapEventQueue<E> {
         self.heap.peek().map(|f| SimTime::from_micros(f.0.at))
     }
 
+    /// The dispatch time of the earliest *live* pending event; same
+    /// contract as [`EventQueue::next_event_time`].
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        if self.cancelled.is_empty() {
+            return self.heap.peek().map(|f| SimTime::from_micros(f.0.at));
+        }
+        self.heap
+            .iter()
+            .filter(|f| !self.cancelled.contains(&f.0.seq))
+            .map(|f| f.0.at)
+            .min()
+            .map(SimTime::from_micros)
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.pending
@@ -862,6 +915,49 @@ mod tests {
     }
 
     #[test]
+    fn next_event_time_skips_head_tombstones() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(5), "a");
+        q.schedule(t(900), "b");
+        assert_eq!(q.next_event_time(), Some(t(5)));
+        assert!(q.cancel(a));
+        // peek_time still reports the unreaped tombstone; the skip-aware
+        // probe must see through it to the first live event.
+        assert_eq!(q.peek_time(), Some(t(5)));
+        assert_eq!(q.next_event_time(), Some(t(900)));
+        // The probe is read-only: the tombstone is still there to reap
+        // and scheduling before it (but at/after the floor) stays legal.
+        q.schedule(t(3), "c");
+        assert_eq!(q.next_event_time(), Some(t(3)));
+        assert_eq!(q.pop().unwrap().event, "c");
+        assert_eq!(q.pop().unwrap().event, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn next_event_time_sees_through_tombstones_on_every_level() {
+        let mut q = EventQueue::new();
+        let near = q.schedule(t(2), 0);
+        let mid = q.schedule(t(500_000), 1);
+        let far = q.schedule(t(3 * SPAN), 2);
+        assert!(q.cancel(near));
+        assert_eq!(q.next_event_time(), Some(t(500_000)), "level-1 live entry");
+        assert!(q.cancel(mid));
+        assert_eq!(q.next_event_time(), Some(t(3 * SPAN)), "overflow live entry");
+        assert!(q.cancel(far));
+        assert_eq!(q.next_event_time(), None, "all tombstones: no live event");
+        assert!(q.peek_time().is_some(), "while the unreaped heads remain visible to peek_time");
+        assert!(q.pop().is_none());
+
+        let mut h = HeapEventQueue::new();
+        let x = h.schedule(t(7), "x");
+        h.schedule(t(40), "y");
+        assert!(h.cancel(x));
+        assert_eq!(h.peek_time(), Some(t(7)));
+        assert_eq!(h.next_event_time(), Some(t(40)));
+    }
+
+    #[test]
     fn cancel_across_levels_and_overflow() {
         let mut q = EventQueue::new();
         let near = q.schedule(t(2), 0);
@@ -942,6 +1038,7 @@ mod tests {
                 }
             }
             assert_eq!(wheel.len(), heap.len());
+            assert_eq!(wheel.next_event_time(), heap.next_event_time());
         }
         loop {
             match (wheel.pop(), heap.pop()) {

@@ -37,6 +37,17 @@ if [ -z "$hotspot" ]; then
 fi
 echo "bench smoke: hotspot probe (proxy + redirect modes): $hotspot ops/s"
 
+# The idle-window-skip probes: sparse-schedule throughput plus the wall
+# time of the two figure stages the skip was built for.
+for f in sparse_ops_per_sec elasticity_wall_s availability_wall_s; do
+    v=$(extract_field "$OUT/BENCH_sim.json" "$f")
+    if [ -z "$v" ]; then
+        echo "bench smoke: FAIL — BENCH_sim.json is missing $f"
+        exit 1
+    fi
+    echo "bench smoke: $f = $v"
+done
+
 # No bc in minimal CI images; awk does the float compare.
 awk -v f="$fresh" -v b="$base" 'BEGIN {
     limit = b * 1.25

@@ -102,6 +102,7 @@ fn usage(err: &str) -> ! {
          \u{20}                     [--out DIR] [--shrink-budget P] [--no-repeat-check] [--threads T]\n\
          \u{20}                     [--shards K]  (cross-check sharded engine reports, K vs 1)\n\
          \u{20}                     [--proxy P]   (force P hotspot proxies on every scenario)\n\
+         \u{20}                     [--force-dense] (sharded cross-check never skips idle windows)\n\
          (seeded fuzz scenarios against the DST oracle; repros land in dst/repros/)\n\
          \n\
          or:    experiments scale [--smoke|--full] [--clients N] [--users N] [--target-inodes N]\n\
@@ -239,6 +240,52 @@ fn sharded_bench_run(shards: usize, measure: SimDuration) -> (dynmds_core::Shard
     sim.reset_measurement();
     // Only the measured span is timed: the warmup's lease-population
     // traffic would otherwise dilute the steady-state figure.
+    let t = Instant::now();
+    sim.run_until(dynmds_event::SimTime::ZERO + warmup + measure);
+    let wall = t.elapsed().as_secs_f64();
+    let report = sim.finish();
+    let rate = report.ops as f64 / wall.max(1e-9);
+    (report, rate)
+}
+
+/// Sparse-schedule throughput probe: the same lease-heavy hot-set
+/// engine workload as [`sharded_bench_run`], but with two orders of
+/// magnitude fewer and slower clients, so the mean event spacing
+/// (~1.3 ms cluster-wide) dwarfs the 100 µs conservative window. Nearly
+/// every barrier faces an empty span, so the figure measures the
+/// idle-window skip — a `--force-dense` run would execute ~12 empty
+/// windows per operation. Returns (report, ops per wall-second).
+fn sparse_bench_run(shards: usize, measure: SimDuration) -> (dynmds_core::ShardReport, f64) {
+    use std::time::Instant;
+    let mut cfg = dynmds_core::SimConfig::small(dynmds_partition::StrategyKind::DynamicSubtree);
+    cfg.n_mds = 8;
+    cfg.n_clients = 32;
+    cfg.cache_capacity = 4_000;
+    cfg.journal_capacity = 16_000;
+    cfg.n_osds = 16;
+    cfg.client_leases = true;
+    cfg.lease_ttl = SimDuration::from_secs(600);
+    // 32 clients thinking 40 ms apart: one event per ~1.25 ms against a
+    // 100 µs window grid. This is the elasticity figure's "night" regime.
+    cfg.costs.think_mean = SimDuration::from_millis(40);
+    cfg.costs.osd_disk =
+        dynmds_storage::DiskParams { latency: SimDuration::from_micros(200), iops: 20_000.0 };
+    cfg.balancing = false;
+    cfg.traffic_control = false;
+    cfg.seed = 42;
+    dynmds_harness::parallel::install_shard_driver();
+    let snap =
+        dynmds_namespace::NamespaceSpec::with_target_items(64, 8_000, cfg.seed ^ 0xF5).generate();
+    let n_clients = cfg.n_clients as usize;
+    let seed = cfg.seed;
+    let mut sim = dynmds_core::ShardedSimulation::new(cfg, shards, None, snap, &move |ns| {
+        Box::new(dynmds_workload::HotSetWorkload::new(ns, n_clients, 32, seed ^ 0x17))
+    });
+    // Long warmup relative to the dense probe: populating each client's
+    // 32-item lease ring takes ~32 think periods at the 40 ms mean.
+    let warmup = SimDuration::from_secs(6);
+    sim.run_until(dynmds_event::SimTime::ZERO + warmup);
+    sim.reset_measurement();
     let t = Instant::now();
     sim.run_until(dynmds_event::SimTime::ZERO + warmup + measure);
     let wall = t.elapsed().as_secs_f64();
@@ -438,6 +485,37 @@ fn run_bench(args: &Args) {
     }
     let sharded_ops_per_sec = sharded_curve.last().map(|&(_, r)| r).unwrap_or(0.0);
 
+    // Sparse-schedule probe: same engine, ~12 empty windows per op, so
+    // this figure tracks the idle-window skip rather than event
+    // execution. The lease floor is looser than the dense probe's — the
+    // 32-client population re-faults a few leases per measured minute.
+    eprintln!("bench: sparse sharded run (idle-window skip)...");
+    let sparse_ops_per_sec = {
+        let (report, rate) = sparse_bench_run(8, SimDuration::from_secs(60));
+        assert!(
+            report.lease_hits * 10 >= report.ops * 8,
+            "sparse bench drifted out of the lease fast path"
+        );
+        rate
+    };
+
+    // Wall-clock probes for the two figure stages the skip was built
+    // for: the diurnal elasticity run (sharded engine, sparse nights)
+    // and availability-under-churn (legacy serial engine — reported so
+    // the pair is tracked together, though skipping cannot move it).
+    eprintln!("bench: elasticity figure wall probe...");
+    let elasticity_wall_s = {
+        let t = Instant::now();
+        drop(dynmds_harness::elasticrun::run_elasticity(scale, 4, None));
+        t.elapsed().as_secs_f64()
+    };
+    eprintln!("bench: availability figure wall probe...");
+    let availability_wall_s = {
+        let t = Instant::now();
+        drop(availability::run_availability(scale, &availability::default_schedule(scale)));
+        t.elapsed().as_secs_f64()
+    };
+
     // Scale-tier probe: a shrunken smoke run (not a timed figure stage —
     // it tracks the streaming-namespace memory story, not suite wall
     // time). Yields the headline scale_ops_per_sec (wall) and the
@@ -514,8 +592,11 @@ fn run_bench(args: &Args) {
     json.push_str(&format!("  \"ops_per_sec\": {ops_per_sec:.1},\n"));
     json.push_str(&format!("  \"scheduler_ops_per_sec\": {sched_ops_per_sec:.1},\n"));
     json.push_str(&format!("  \"sharded_ops_per_sec\": {sharded_ops_per_sec:.1},\n"));
+    json.push_str(&format!("  \"sparse_ops_per_sec\": {sparse_ops_per_sec:.1},\n"));
     json.push_str(&format!("  \"scale_ops_per_sec\": {scale_ops_per_sec:.1},\n"));
     json.push_str(&format!("  \"hotspot_ops_per_sec\": {hotspot_ops_per_sec:.1},\n"));
+    json.push_str(&format!("  \"elasticity_wall_s\": {elasticity_wall_s:.3},\n"));
+    json.push_str(&format!("  \"availability_wall_s\": {availability_wall_s:.3},\n"));
     json.push_str(&format!("  \"namespace_bytes_per_inode\": {namespace_bytes_per_inode:.1},\n"));
     json.push_str("  \"sharded_scaling\": [\n");
     for (i, (shards, rate)) in sharded_curve.iter().enumerate() {
@@ -587,6 +668,8 @@ fn main() {
                 100.0 * r.lease_hits as f64 / r.ops.max(1) as f64
             );
         }
+        let (r, rate) = sparse_bench_run(8, SimDuration::from_secs(60));
+        println!("sparse 8 shards: {} ops, {rate:.0} ops/s (idle-window skip)", r.ops);
         return;
     }
     let scale = args.scale;

@@ -14,6 +14,8 @@
 //!   --seed N            RNG seed                              (7)
 //!   --shards N          run the sharded engine on N event queues (0 = legacy serial engine)
 //!   --threads N         worker threads for the shard fan-out   (worker policy)
+//!   --force-dense       sharded engine: execute every window, never skip idle spans
+//!                       (debug/CI knob — output is byte-identical either way)
 //!   --workload general|scientific|hotset|diurnal              (general)
 //!   --diurnal-period N  diurnal day length, virtual seconds    (4)
 //!   --night-mult X      night think-time multiplier            (150)
@@ -62,6 +64,7 @@ struct Args {
     seed: u64,
     shards: usize,
     threads: Option<usize>,
+    force_dense: bool,
     workload: String,
     diurnal_period: u64,
     night_mult: f64,
@@ -107,6 +110,7 @@ fn parse_args() -> Args {
         seed: 7,
         shards: 0,
         threads: None,
+        force_dense: false,
         workload: "general".into(),
         diurnal_period: 4,
         night_mult: 150.0,
@@ -163,6 +167,7 @@ fn parse_args() -> Args {
                 a.threads =
                     Some(next(&mut it, &f).parse().unwrap_or_else(|_| usage("bad --threads")))
             }
+            "--force-dense" => a.force_dense = true,
             "--workload" => a.workload = next(&mut it, &f),
             "--diurnal-period" => {
                 a.diurnal_period =
@@ -216,6 +221,7 @@ fn main() {
     cfg.client_leases = a.leases;
     cfg.shared_writes = a.shared_writes;
     cfg.proxy.count = a.proxy;
+    cfg.force_dense = a.force_dense;
     cfg.dir_hash_threshold = a.dir_hash;
     if a.no_balancing {
         cfg.balancing = false;

@@ -54,9 +54,14 @@ fn config(strategy: StrategyKind, seed: u64, faults: bool) -> SimConfig {
     cfg
 }
 
-/// One full run at shard count `k`: returns the rendered report plus the
-/// two obs exports, the whole byte surface a run exposes.
-fn run_k(cfg: SimConfig, k: usize) -> (String, String, String) {
+/// One run at shard count `k` over a chosen span: returns the rendered
+/// report plus the two obs exports, the whole byte surface a run exposes.
+fn run_span(
+    cfg: SimConfig,
+    k: usize,
+    warmup: SimDuration,
+    measure: SimDuration,
+) -> (String, String, String) {
     dynmds::harness::parallel::install_shard_driver();
     let snap = NamespaceSpec::with_target_items(24, 6_000, cfg.seed ^ 0xF5).generate();
     let n_clients = cfg.n_clients as usize;
@@ -72,9 +77,14 @@ fn run_k(cfg: SimConfig, k: usize) -> (String, String, String) {
             ns,
         ))
     });
-    let report = sim.run_measured(SimDuration::from_secs(2), SimDuration::from_secs(7));
+    let report = sim.run_measured(warmup, measure);
     let obs = report.obs.as_ref().expect("obs metrics were enabled");
     (report.render(), obs.metrics_jsonl.clone(), obs.snapshots_jsonl.clone())
+}
+
+/// One full run at shard count `k` over the standard 2 s + 7 s span.
+fn run_k(cfg: SimConfig, k: usize) -> (String, String, String) {
+    run_span(cfg, k, SimDuration::from_secs(2), SimDuration::from_secs(7))
 }
 
 #[test]
@@ -102,6 +112,76 @@ fn every_strategy_is_shard_count_invariant() {
         let a = run_k(config(strategy, 7, false), 1);
         let b = run_k(config(strategy, 7, false), 4);
         assert_eq!(a, b, "{strategy}: surface differs between 1 and 4 shards");
+    }
+}
+
+#[test]
+fn idle_window_skip_is_invisible_for_every_shard_count() {
+    // Skip-vs-dense differential sweep. Skipping only ever jumps over
+    // provably empty window spans on the same grid, so a skip-on run and
+    // a force-dense run (every conservative window executed) must be
+    // byte-identical across the whole surface. Each case stresses a
+    // different skip hazard:
+    //   tie storm  — sub-window think time floods every window with
+    //                same-time batches (skip must never engage);
+    //   long gaps  — think time ≫ the 100 µs window makes nearly every
+    //                window empty (skip does all the work);
+    //   fault churn — crash/recover/churn/disk/net events land via the
+    //                barrier-global step calendar mid-gap;
+    //   elastic    — the autoscaling controller acts on heartbeat steps
+    //                that the skip must not jump past.
+    struct Case {
+        label: &'static str,
+        strategy: StrategyKind,
+        faults: bool,
+        think: SimDuration,
+        warmup: SimDuration,
+        measure: SimDuration,
+    }
+    let cases = [
+        Case {
+            label: "tie storm",
+            strategy: StrategyKind::DynamicSubtree,
+            faults: false,
+            think: SimDuration::from_micros(10),
+            warmup: SimDuration::from_millis(200),
+            measure: SimDuration::from_millis(500),
+        },
+        Case {
+            label: "long gaps",
+            strategy: StrategyKind::DynamicSubtree,
+            faults: false,
+            think: SimDuration::from_millis(200),
+            warmup: SimDuration::from_secs(2),
+            measure: SimDuration::from_secs(7),
+        },
+        Case {
+            label: "fault churn",
+            strategy: StrategyKind::DynamicSubtree,
+            faults: true,
+            think: SimDuration::from_millis(1),
+            warmup: SimDuration::from_secs(2),
+            measure: SimDuration::from_secs(7),
+        },
+        Case {
+            label: "elastic",
+            strategy: StrategyKind::ElasticSubtree,
+            faults: false,
+            think: SimDuration::from_millis(20),
+            warmup: SimDuration::from_secs(2),
+            measure: SimDuration::from_secs(7),
+        },
+    ];
+    for case in &cases {
+        for k in [1usize, 2, 4] {
+            let mut skip = config(case.strategy, 99, case.faults);
+            skip.costs.think_mean = case.think;
+            let mut dense = skip.clone();
+            dense.force_dense = true;
+            let a = run_span(skip, k, case.warmup, case.measure);
+            let b = run_span(dense, k, case.warmup, case.measure);
+            assert_eq!(a, b, "{}: skip vs force-dense surfaces differ at {k} shards", case.label);
+        }
     }
 }
 
